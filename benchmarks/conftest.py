@@ -1,0 +1,36 @@
+"""Benchmark harness plumbing.
+
+Every benchmark wraps one experiment from :mod:`repro.experiments` in
+``benchmark.pedantic`` (a single timed round — these are simulation
+experiments, not microbenchmarks), asserts the paper's qualitative claim
+(``result.ok``), prints the paper-style table, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md stays reproducible.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Time an experiment module's run(), archive and assert its verdict."""
+
+    def runner(module, **params):
+        result = benchmark.pedantic(
+            lambda: module.run(**params), rounds=1, iterations=1
+        )
+        rendered = result.render()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{result.exp_id.lower()}.txt"
+        out.write_text(rendered + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n{rendered}\n")
+        assert result.ok, rendered
+        return result
+
+    return runner

@@ -1,0 +1,12 @@
+"""Benchmark E1 — Figure 1: session structure of the reduction pair in the exclusive suffix.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e01_figure1
+
+
+def test_e1_figure1(run_experiment):
+    run_experiment(e01_figure1)

@@ -1,0 +1,12 @@
+"""Benchmark E2 — Theorem 1: strong completeness over both black boxes, crash-time sweep.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e02_completeness
+
+
+def test_e2_completeness(run_experiment):
+    run_experiment(e02_completeness)

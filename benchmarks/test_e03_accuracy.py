@@ -1,0 +1,12 @@
+"""Benchmark E3 — Theorem 2: eventual strong accuracy over both black boxes, GST sweep.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e03_accuracy
+
+
+def test_e3_accuracy(run_experiment):
+    run_experiment(e03_accuracy)

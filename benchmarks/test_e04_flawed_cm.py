@@ -1,0 +1,12 @@
+"""Benchmark E4 — Section 3: the [8] construction fails on a legal box; ours survives.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e04_flawed_cm
+
+
+def test_e4_flawed_cm(run_experiment):
+    run_experiment(e04_flawed_cm)

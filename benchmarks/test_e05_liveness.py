@@ -1,0 +1,12 @@
+"""Benchmark E5 — Lemmas 5/7/9/11/12: liveness and structure of witnesses and subjects.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e05_liveness
+
+
+def test_e5_liveness(run_experiment):
+    run_experiment(e05_liveness)

@@ -1,0 +1,12 @@
+"""Benchmark E6 — Section 8: extracted oracle drives eventually k-fair dining.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e06_fairness
+
+
+def test_e6_fairness(run_experiment):
+    run_experiment(e06_fairness)

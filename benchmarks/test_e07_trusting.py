@@ -1,0 +1,12 @@
+"""Benchmark E7 — Section 9: reduction over a perpetual-WX box extracts T.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e07_trusting
+
+
+def test_e7_trusting(run_experiment):
+    run_experiment(e07_trusting)

@@ -1,0 +1,12 @@
+"""Benchmark E8 — Extracted oracle drives Chandra-Toueg consensus to decision.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e08_consensus
+
+
+def test_e8_consensus(run_experiment):
+    run_experiment(e08_consensus)

@@ -1,0 +1,12 @@
+"""Benchmark E9 — Section 2: WSN duty-cycle scheduling, rotation vs always-on.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e09_wsn
+
+
+def test_e9_wsn(run_experiment):
+    run_experiment(e09_wsn)

@@ -1,0 +1,12 @@
+"""Benchmark E10 — Sections 2-3: contention manager boosts obstruction-free STM.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e10_stm
+
+
+def test_e10_stm(run_experiment):
+    run_experiment(e10_stm)

@@ -1,0 +1,12 @@
+"""Benchmark E11 — Native heartbeat eventually-perfect detector under partial synchrony.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e11_native_oracle
+
+
+def test_e11_native_oracle(run_experiment):
+    run_experiment(e11_native_oracle)

@@ -1,0 +1,12 @@
+"""Benchmark E12 — Reduction overhead: cost per extracted-detector sample vs n.
+
+Regenerates the corresponding paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md); asserts the paper's qualitative claim and archives the
+table under benchmarks/results/.
+"""
+
+from repro.experiments import e12_overhead
+
+
+def test_e12_overhead(run_experiment):
+    run_experiment(e12_overhead)

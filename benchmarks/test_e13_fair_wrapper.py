@@ -1,0 +1,11 @@
+"""Benchmark E13 — Ablation: the Section 8 fairness wrapper, k sweep.
+
+Extension experiment (see DESIGN.md §5 and EXPERIMENTS.md); asserts the
+claim and archives the table under benchmarks/results/.
+"""
+
+from repro.experiments import e13_fair_wrapper
+
+
+def test_e13_fair_wrapper(run_experiment):
+    run_experiment(e13_fair_wrapper)

@@ -1,0 +1,11 @@
+"""Benchmark E14 — Robustness: reduction under targeted adversaries.
+
+Extension experiment (see DESIGN.md §5 and EXPERIMENTS.md); asserts the
+claim and archives the table under benchmarks/results/.
+"""
+
+from repro.experiments import e14_adversary
+
+
+def test_e14_adversary(run_experiment):
+    run_experiment(e14_adversary)

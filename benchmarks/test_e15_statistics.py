@@ -1,0 +1,11 @@
+"""Benchmark E15 — Statistics: extraction convergence across seed sweeps.
+
+Extension experiment (see DESIGN.md §5 and EXPERIMENTS.md); asserts the
+claim and archives the table under benchmarks/results/.
+"""
+
+from repro.experiments import e15_statistics
+
+
+def test_e15_statistics(run_experiment):
+    run_experiment(e15_statistics)

@@ -1,0 +1,11 @@
+"""Benchmark E16 — failure locality: crash impact radius.
+
+Extension experiment (see DESIGN.md §5 and EXPERIMENTS.md); asserts the
+claim and archives the table under benchmarks/results/.
+"""
+
+from repro.experiments import e16_locality
+
+
+def test_e16_locality(run_experiment):
+    run_experiment(e16_locality)

@@ -1,0 +1,11 @@
+"""Benchmark E17 — end-to-end replicated KV over the extracted oracle.
+
+Extension experiment (see DESIGN.md §5 and EXPERIMENTS.md); asserts the
+claim and archives the table under benchmarks/results/.
+"""
+
+from repro.experiments import e17_replication
+
+
+def test_e17_replication(run_experiment):
+    run_experiment(e17_replication)

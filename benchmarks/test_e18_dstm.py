@@ -1,0 +1,11 @@
+"""Benchmark E18 — shared-memory DSTM contention management.
+
+Extension experiment (see DESIGN.md §5 and EXPERIMENTS.md); asserts the
+claim and archives the table under benchmarks/results/.
+"""
+
+from repro.experiments import e18_dstm
+
+
+def test_e18_dstm(run_experiment):
+    run_experiment(e18_dstm)

@@ -1,0 +1,11 @@
+"""Benchmark E19 — the asynchronous impossibility symptom.
+
+Extension experiment (see DESIGN.md §5 and EXPERIMENTS.md); asserts the
+claim and archives the table under benchmarks/results/.
+"""
+
+from repro.experiments import e19_asynchrony
+
+
+def test_e19_asynchrony(run_experiment):
+    run_experiment(e19_asynchrony)

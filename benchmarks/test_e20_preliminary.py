@@ -1,0 +1,11 @@
+"""Benchmark E20 — Section 5.1: the single-instance sketch fails.
+
+Extension experiment (see DESIGN.md §5 and EXPERIMENTS.md); asserts the
+claim and archives the table under benchmarks/results/.
+"""
+
+from repro.experiments import e20_preliminary
+
+
+def test_e20_preliminary(run_experiment):
+    run_experiment(e20_preliminary)

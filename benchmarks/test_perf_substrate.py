@@ -1,0 +1,78 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Unlike the experiment benchmarks (single timed simulation runs), these are
+true repeated-round microbenchmarks of the library's hot paths: engine
+event throughput, process action dispatch, message routing, and the
+exclusion checker.  They guard against performance regressions in the
+substrate every experiment sits on.
+"""
+
+from repro.dining.spec import check_exclusion
+from repro.graphs import ring
+from repro.sim import Engine, FixedDelays, SimConfig
+from repro.sim.component import Component, action, receive
+from repro.sim.faults import CrashSchedule
+
+
+class Chatter(Component):
+    def __init__(self, peer):
+        super().__init__("chat")
+        self.peer = peer
+
+    @action(guard=lambda self: True)
+    def talk(self):
+        self.send(self.peer, "chat", "gossip")
+
+    @receive("gossip")
+    def on_gossip(self, msg):
+        pass
+
+
+def build_chatty_engine(n=6, seed=0):
+    eng = Engine(SimConfig(seed=seed, max_time=1e9),
+                 delay_model=FixedDelays(1.0))
+    pids = [f"p{i}" for i in range(n)]
+    for i, pid in enumerate(pids):
+        eng.add_process(pid)
+    for i, pid in enumerate(pids):
+        eng.processes[pid].add_component(Chatter(pids[(i + 1) % n]))
+    return eng
+
+
+def test_engine_event_throughput(benchmark):
+    def run_chunk():
+        eng = build_chatty_engine()
+        eng.run(until=200.0)
+        return eng.events_processed
+
+    events = benchmark(run_chunk)
+    assert events > 1000
+
+
+def test_process_step_dispatch(benchmark):
+    eng = build_chatty_engine(n=2)
+    proc = eng.processes["p0"]
+    benchmark(proc.step)
+
+
+def test_dining_simulation_rate(benchmark):
+    """End-to-end cost of one mid-sized dining simulation."""
+    from tests.dining.helpers import run_dining
+
+    def run():
+        eng, *_ = run_dining(ring(5), seed=1, max_time=400.0)
+        return eng.events_processed
+
+    events = benchmark(run)
+    assert events > 1000
+
+
+def test_exclusion_checker_speed(benchmark):
+    from tests.dining.helpers import INSTANCE, run_dining
+
+    g = ring(5)
+    eng, sched, _, _ = run_dining(g, seed=2, max_time=800.0)
+    result = benchmark(
+        lambda: check_exclusion(eng.trace, g, INSTANCE, sched, eng.now)
+    )
+    assert result.count >= 0

@@ -1,0 +1,78 @@
+"""The failure-detector zoo, side by side on one fault schedule.
+
+Runs ◇P (honest heartbeat implementation), P, T, and S plus an Ω leader
+elector in a single partially synchronous system with one crash, then
+prints each oracle's suspicion history about the crashed and a correct
+process — making the hierarchy's accuracy differences visible.
+
+Run:  python examples/oracle_zoo.py
+"""
+
+from repro.oracles import (
+    EventuallyPerfectDetector,
+    OmegaElector,
+    PerfectDetector,
+    StrongDetector,
+    TrustingDetector,
+)
+from repro.oracles.properties import suspicion_series
+from repro.sim import Engine, PartialSynchronyDelays, SimConfig
+from repro.sim.faults import CrashSchedule
+
+PIDS = ["p0", "p1", "p2"]
+CRASH_AT = 600.0
+
+
+def history(trace, owner, target, detector) -> str:
+    series = suspicion_series(trace, owner, target, detector=detector)
+    return " -> ".join(
+        f"{'S' if s else 'T'}@{t:.0f}" for t, s in series
+    ) or "(no output)"
+
+
+def main() -> None:
+    schedule = CrashSchedule.single("p2", CRASH_AT)
+    engine = Engine(
+        SimConfig(seed=11, max_time=1500.0),
+        delay_model=PartialSynchronyDelays(gst=250.0, delta=1.5,
+                                           pre_gst_max=60.0),
+        crash_schedule=schedule,
+    )
+    for pid in PIDS:
+        engine.add_process(pid)
+
+    # One module of each class at p0, all monitoring p1 (correct) and p2.
+    peers = ["p1", "p2"]
+    proc = engine.process("p0")
+    hb = EventuallyPerfectDetector("evP", peers, heartbeat_period=6,
+                                   initial_timeout=8)
+    proc.add_component(hb)
+    proc.add_component(PerfectDetector("P", peers, schedule))
+    proc.add_component(TrustingDetector("T", peers, schedule,
+                                        registration_delay=40.0))
+    proc.add_component(StrongDetector("S", peers, schedule, anchor="p1",
+                                      noise_until=200.0, noise_prob=0.02))
+    proc.add_component(OmegaElector("omega", hb))
+    # The heartbeat detector needs senders on the peers.
+    for pid in peers:
+        engine.process(pid).add_component(
+            EventuallyPerfectDetector("evP", [q for q in PIDS if q != pid],
+                                      heartbeat_period=6, initial_timeout=8)
+        )
+    engine.run()
+    trace = engine.trace
+
+    print(f"one crash: p2 at t={CRASH_AT:.0f}; S=suspected, T=trusted\n")
+    for detector in ("evP", "P", "T", "S"):
+        print(f"{detector:>4} about p1 (correct): "
+              f"{history(trace, 'p0', 'p1', detector)}")
+        print(f"{detector:>4} about p2 (crashes): "
+              f"{history(trace, 'p0', 'p2', detector)}")
+        print()
+    leaders = trace.series("leader", "leader", pid="p0")
+    print("Ω leader estimates at p0:",
+          " -> ".join(f"{v}@{t:.0f}" for t, v in leaders))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Boosting obstruction-free STM with a dining contention manager.
+
+The paper's Sections 2-3: clients hammering a shared transactional counter
+abort each other under raw obstruction-freedom; admitting them through a
+wait-free ◇WX dining instance (the contention manager) makes every
+transaction commit.
+
+Run:  python examples/stm_contention_manager.py
+"""
+
+from repro.apps.stm import ContentionManagedSTM
+
+
+def main() -> None:
+    for clients in (2, 4, 6):
+        stm = ContentionManagedSTM(n_clients=clients, tx_target=15,
+                                   seed=100 + clients, max_time=15000.0)
+        raw = stm.run(with_cm=False)
+        managed = stm.run(with_cm=True)
+        print(f"--- {clients} clients, one shared counter ---")
+        print(" ", raw.format_row())
+        print(" ", managed.format_row())
+        if managed.cm_violations:
+            print(f"  (CM made {managed.cm_violations} finite admission "
+                  f"mistakes, last at t={managed.cm_last_violation:.0f})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro — reproduction of *"The Weakest Failure Detector for Wait-Free
+Dining under Eventual Weak Exclusion"* (Sastry, Pike & Welch, SPAA 2009;
+corrigendum SPAA 2010).
+
+The package implements, from scratch, everything the paper describes or
+depends on:
+
+* a deterministic discrete-event simulator for asynchronous message-passing
+  systems with crash faults (:mod:`repro.sim`);
+* the Chandra–Toueg failure-detector hierarchy: ◇P implemented honestly
+  from partial synchrony, plus P / T / S substrates and Ω
+  (:mod:`repro.oracles`);
+* dining-philosophers algorithms: the ◇P-based wait-free ◇WX solution, the
+  fault-intolerant hygienic baseline, an adversarial-but-legal box, and a
+  perpetual-WX box (:mod:`repro.dining`);
+* **the paper's reduction** — witness/subject threads over two dining
+  instances per monitored pair, extracting ◇P from any black-box WF-◇WX
+  solution (:mod:`repro.core`) — plus the flawed construction of [8] it
+  corrects;
+* downstream consumers: Chandra–Toueg consensus and leader election driven
+  by the extracted oracle (:mod:`repro.consensus`);
+* the motivating applications: WSN duty-cycle scheduling and an STM
+  contention manager (:mod:`repro.apps`);
+* experiment harnesses reproducing every theorem, lemma, and figure
+  (:mod:`repro.experiments`; run them with ``python -m repro``).
+
+Quickstart::
+
+    from repro.experiments.common import build_system, wf_box
+    from repro.core import build_full_extraction
+
+    system = build_system(["p", "q"], seed=1)
+    detectors, _ = build_full_extraction(system.engine, ["p", "q"],
+                                         wf_box(system))
+    system.engine.run()
+    print(detectors["p"].suspects())   # ◇P output extracted from dining
+"""
+
+from repro.core import ExtractedDetector, ReductionPair, build_full_extraction
+from repro.dining import (
+    DeferredExclusionDining,
+    HygienicDining,
+    PerpetualDining,
+    WaitFreeEWXDining,
+)
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    SimulationError,
+    SpecificationViolation,
+)
+from repro.oracles import (
+    EventuallyPerfectDetector,
+    PerfectDetector,
+    StrongDetector,
+    TrustingDetector,
+)
+from repro.sim import Engine, SimConfig
+from repro.sim.faults import CrashSchedule
+from repro.types import DinerState, Message, ProcessId, Time
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "CrashSchedule",
+    "DeferredExclusionDining",
+    "DinerState",
+    "Engine",
+    "EventuallyPerfectDetector",
+    "ExtractedDetector",
+    "HygienicDining",
+    "InvariantViolation",
+    "Message",
+    "PerfectDetector",
+    "PerpetualDining",
+    "ProcessId",
+    "ReductionPair",
+    "ReproError",
+    "SimConfig",
+    "SimulationError",
+    "SpecificationViolation",
+    "StrongDetector",
+    "Time",
+    "TrustingDetector",
+    "WaitFreeEWXDining",
+    "build_full_extraction",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Post-run analysis: eating-session structure (Fig. 1) and report tables."""
+
+from repro.analysis.report import Table
+from repro.analysis.sessions import (
+    PairSessionAnalysis,
+    analyze_pair_sessions,
+    check_handoff_overlap,
+    check_witness_throttling,
+    render_ascii_timeline,
+)
+
+__all__ = [
+    "PairSessionAnalysis",
+    "Table",
+    "analyze_pair_sessions",
+    "check_handoff_overlap",
+    "check_witness_throttling",
+    "render_ascii_timeline",
+]

@@ -1,0 +1,60 @@
+"""Plain-text experiment tables (paper-style rows).
+
+Minimal aligned-column formatting so benchmark output and EXPERIMENTS.md
+can share identical tables without a heavyweight dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+class Table:
+    """An aligned fixed-width text table.
+
+    >>> t = Table(["run", "ok"])
+    >>> t.add_row(["r1", True])
+    >>> print(t.render())   # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        if isinstance(v, bool):
+            return "yes" if v else "no"
+        if v is None:
+            return "-"
+        return str(v)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "  "
+        head = sep.join(c.ljust(w) for c, w in zip(self.columns, widths))
+        bar = sep.join("-" * w for w in widths)
+        body = [
+            sep.join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in self.rows
+        ]
+        lines = ([self.title, ""] if self.title else []) + [head, bar] + body
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,143 @@
+"""Eating-session structure of a reduction pair — reproducing Figure 1.
+
+The paper's only figure shows, for the exclusive suffix of a run, the
+witness and subject eating sessions of both dining instances: per instance
+the witness and subject alternate, and the two subjects' sessions overlap
+pairwise (the hand-off "gray regions").  This module extracts those
+sessions from a trace, verifies both structural claims, and renders an
+ASCII timeline of the same picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core.pair import ReductionPair
+from repro.dining.spec import eating_intervals
+from repro.sim.trace import Trace, intervals_overlap
+from repro.types import Time
+
+Interval = tuple[Time, Time]
+
+
+def sessions_after(intervals: Sequence[Interval], after: Time) -> list[Interval]:
+    """Sessions that *start* at or after ``after``."""
+    return [iv for iv in intervals if iv[0] >= after]
+
+
+def check_witness_throttling(
+    witness_sessions: Sequence[Interval],
+    subject_sessions: Sequence[Interval],
+    after: Time,
+) -> tuple[bool, int]:
+    """Fig. 1 / Theorem 2 structure: in the suffix, between any two
+    consecutive witness sessions of one instance the subject of that
+    instance eats at least once.
+
+    Returns ``(ok, pairs_checked)``.
+    """
+    ws = sessions_after(witness_sessions, after)
+    checked = 0
+    for (a_start, a_end), (b_start, _) in zip(ws, ws[1:]):
+        checked += 1
+        if not any(
+            a_end <= s_start and s_end <= b_start or  # fully between
+            intervals_overlap((a_end, b_start), (s_start, s_end))
+            for s_start, s_end in subject_sessions
+        ):
+            return False, checked
+    return True, checked
+
+
+def check_handoff_overlap(
+    subject0_sessions: Sequence[Interval],
+    subject1_sessions: Sequence[Interval],
+    after: Time,
+) -> tuple[bool, int]:
+    """Fig. 1 hand-off: every completed subject session (in the suffix)
+    overlaps some session of the *other* subject — the gray regions.
+
+    Returns ``(ok, sessions_checked)``.
+    """
+    checked = 0
+    for mine, others in ((subject0_sessions, subject1_sessions),
+                         (subject1_sessions, subject0_sessions)):
+        for iv in sessions_after(mine, after):
+            checked += 1
+            if not any(intervals_overlap(iv, other) for other in others):
+                return False, checked
+    return True, checked
+
+
+@dataclass
+class PairSessionAnalysis:
+    """Extracted session structure of one reduction pair."""
+
+    pair_id: str
+    witness: dict[int, list[Interval]] = field(default_factory=dict)
+    subject: dict[int, list[Interval]] = field(default_factory=dict)
+    end_time: Time = 0.0
+
+    def throttling_ok(self, after: Time) -> bool:
+        return all(
+            check_witness_throttling(self.witness[i], self.subject[i], after)[0]
+            for i in (0, 1)
+        )
+
+    def handoff_ok(self, after: Time) -> bool:
+        return check_handoff_overlap(self.subject[0], self.subject[1], after)[0]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            **{f"w{i}": len(self.witness[i]) for i in (0, 1)},
+            **{f"s{i}": len(self.subject[i]) for i in (0, 1)},
+        }
+
+    def render(self, t0: Time, t1: Time, width: int = 88) -> str:
+        """ASCII reproduction of Figure 1 over the window ``[t0, t1]``."""
+        tracks = {}
+        for i in (0, 1):
+            tracks[f"DX{i} witness"] = self.witness[i]
+            tracks[f"DX{i} subject"] = self.subject[i]
+        return render_ascii_timeline(tracks, t0, t1, width)
+
+
+def analyze_pair_sessions(trace: Trace, pair: ReductionPair,
+                          end_time: Time) -> PairSessionAnalysis:
+    """Extract witness/subject eating sessions of both instances of a pair."""
+    out = PairSessionAnalysis(pair_id=pair.pair_id, end_time=end_time)
+    dx0, dx1 = pair.instance_ids()
+    for i, iid in enumerate((dx0, dx1)):
+        out.witness[i] = eating_intervals(trace, iid, pair.witness_pid, end_time)
+        out.subject[i] = eating_intervals(trace, iid, pair.subject_pid, end_time)
+    return out
+
+
+def render_ascii_timeline(
+    tracks: Mapping[str, Sequence[Interval]],
+    t0: Time,
+    t1: Time,
+    width: int = 88,
+) -> str:
+    """Render interval tracks as fixed-width ASCII rows.
+
+    ``█`` marks time bins in which the track's diner was eating; the ruler
+    row marks the window bounds.
+    """
+    if t1 <= t0:
+        raise ValueError("empty window")
+    span = t1 - t0
+    label_w = max((len(k) for k in tracks), default=0) + 1
+    lines = []
+    for name, ivs in tracks.items():
+        cells = []
+        for c in range(width):
+            lo = t0 + span * c / width
+            hi = t0 + span * (c + 1) / width
+            cells.append(
+                "█" if any(a < hi and b > lo for a, b in ivs) else "·"
+            )
+        lines.append(f"{name:<{label_w}}|{''.join(cells)}|")
+    ruler = f"{'':<{label_w}}|{t0:<{width - 10}.1f}{t1:>10.1f}|"
+    return "\n".join(lines + [ruler])

@@ -1,0 +1,78 @@
+"""Seed-sweep statistics for experiment aggregation.
+
+Reproduction experiments report single-run tables; for claims about
+*distributions* (detection latency, convergence time) E15 sweeps seeds and
+summarizes with these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Summary statistics of one metric across a seed sweep."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values)) if self.values else float("nan")
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else float("nan")
+
+    def summary(self) -> str:
+        return (f"{self.mean:.1f} ± {self.std:.1f} "
+                f"[{self.min:.1f}, {self.max:.1f}] (n={self.n})")
+
+
+def sweep(
+    metric_fn: Callable[[int], Optional[float]],
+    seeds: Iterable[int],
+    name: str = "metric",
+) -> SweepStats:
+    """Evaluate ``metric_fn(seed)`` across seeds, skipping None results."""
+    values = []
+    for seed in seeds:
+        v = metric_fn(seed)
+        if v is not None:
+            values.append(float(v))
+    return SweepStats(name=name, values=tuple(values))
+
+
+def sweep_many(
+    run_fn: Callable[[int], dict],
+    seeds: Sequence[int],
+) -> dict[str, SweepStats]:
+    """Run ``run_fn(seed) -> {metric: value}`` across seeds and aggregate
+    per-metric (None values skipped per metric)."""
+    collected: dict[str, list[float]] = {}
+    for seed in seeds:
+        for key, value in run_fn(seed).items():
+            if value is not None:
+                collected.setdefault(key, []).append(float(value))
+    return {
+        key: SweepStats(name=key, values=tuple(vals))
+        for key, vals in collected.items()
+    }

@@ -1,0 +1,119 @@
+"""Dependency-free SVG rendering of session timelines.
+
+Produces a publication-style version of the paper's Figure 1 (and any
+other interval tracks): one horizontal lane per track, a filled rect per
+eating session, a time axis, and an optional marker line (e.g. the
+convergence point).  Pure string assembly — no plotting libraries.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import Time
+
+Interval = tuple[Time, Time]
+
+_LANE_COLORS = ("#4878a8", "#a85448", "#6aa06a", "#9678b4",
+                "#ba9d49", "#5aa3b0")
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def render_svg_timeline(
+    tracks: Mapping[str, Sequence[Interval]],
+    t0: Time,
+    t1: Time,
+    width: int = 900,
+    lane_height: int = 34,
+    label_width: int = 150,
+    title: str | None = None,
+    marker: Optional[Time] = None,
+    marker_label: str = "",
+) -> str:
+    """Render interval tracks as a standalone SVG document string."""
+    if t1 <= t0:
+        raise ConfigurationError("empty time window")
+    if not tracks:
+        raise ConfigurationError("no tracks to render")
+    span = t1 - t0
+    plot_w = width - label_width - 20
+    top = 34 if title else 10
+    height = top + lane_height * len(tracks) + 30
+
+    def x_of(t: Time) -> float:
+        return label_width + plot_w * (t - t0) / span
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(title)}</text>'
+        )
+    for lane, (name, intervals) in enumerate(tracks.items()):
+        y = top + lane * lane_height
+        color = _LANE_COLORS[lane % len(_LANE_COLORS)]
+        parts.append(
+            f'<text x="{label_width - 8}" y="{y + lane_height / 2 + 4:.0f}" '
+            f'text-anchor="end">{_esc(name)}</text>'
+        )
+        parts.append(
+            f'<line x1="{label_width}" y1="{y + lane_height / 2:.0f}" '
+            f'x2="{label_width + plot_w}" y2="{y + lane_height / 2:.0f}" '
+            f'stroke="#ddd"/>'
+        )
+        for a, b in intervals:
+            a, b = max(a, t0), min(b, t1)
+            if b <= a:
+                continue
+            parts.append(
+                f'<rect x="{x_of(a):.1f}" y="{y + 6}" '
+                f'width="{max(x_of(b) - x_of(a), 1.0):.1f}" '
+                f'height="{lane_height - 12}" fill="{color}" '
+                f'fill-opacity="0.85" rx="2"/>'
+            )
+    # Axis with 5 ticks.
+    axis_y = top + lane_height * len(tracks) + 8
+    parts.append(
+        f'<line x1="{label_width}" y1="{axis_y}" '
+        f'x2="{label_width + plot_w}" y2="{axis_y}" stroke="#333"/>'
+    )
+    for i in range(6):
+        t = t0 + span * i / 5
+        x = x_of(t)
+        parts.append(f'<line x1="{x:.1f}" y1="{axis_y}" x2="{x:.1f}" '
+                     f'y2="{axis_y + 4}" stroke="#333"/>')
+        parts.append(
+            f'<text x="{x:.1f}" y="{axis_y + 16}" '
+            f'text-anchor="middle" font-size="10">{t:.0f}</text>'
+        )
+    if marker is not None and t0 <= marker <= t1:
+        x = x_of(marker)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" y2="{axis_y}" '
+            f'stroke="#c33" stroke-dasharray="4,3"/>'
+        )
+        if marker_label:
+            parts.append(
+                f'<text x="{x + 4:.1f}" y="{top + 10}" fill="#c33" '
+                f'font-size="10">{_esc(marker_label)}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: str | pathlib.Path) -> pathlib.Path:
+    """Write an SVG document next to the experiment artifacts."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(svg, encoding="utf-8")
+    return p

@@ -1,0 +1,16 @@
+"""The paper's motivating applications (Section 2), built on the library.
+
+* :mod:`repro.apps.wsn` — wireless-sensor-network duty-cycle scheduling:
+  nodes with finite batteries rotate coverage duty through a dining
+  scheduler; ◇WX mistakes cost only redundant coverage, never correctness.
+* :mod:`repro.apps.stm` — obstruction-free software transactional memory
+  boosted to wait-freedom by a dining-backed contention manager
+  (Sections 2–3).
+"""
+
+from repro.apps.kv_store import KVReplica, check_replication
+from repro.apps.stm import ContentionManagedSTM, STMReport
+from repro.apps.wsn import WSNExperiment, WSNReport
+
+__all__ = ["ContentionManagedSTM", "KVReplica", "STMReport",
+           "WSNExperiment", "WSNReport", "check_replication"]

@@ -1,0 +1,96 @@
+"""A replicated key-value store on totally-ordered broadcast.
+
+The canonical state-machine-replication stack, closing the paper's chain
+end-to-end: black-box dining → extracted ◇P → consensus → atomic broadcast
+→ identical replicas.  Every replica applies the same command sequence, so
+all correct replicas converge to the same store state — which experiment
+E17 checks under crashes with the *extracted* oracle as the only source of
+failure information.
+
+Commands: ``set k v``, ``del k``, ``incr k`` (by 1, treating missing as 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.consensus.atomic_broadcast import AtomicBroadcast
+from repro.errors import ConfigurationError
+from repro.sim.component import Component, action
+from repro.types import ProcessId
+
+
+def apply_command(state: dict[str, Any], command: Mapping[str, Any]) -> None:
+    """Apply one command in place (must stay deterministic)."""
+    op = command["op"]
+    key = command["key"]
+    if op == "set":
+        state[key] = command["value"]
+    elif op == "del":
+        state.pop(key, None)
+    elif op == "incr":
+        state[key] = int(state.get(key, 0)) + 1
+    else:
+        raise ConfigurationError(f"unknown command op {op!r}")
+
+
+class KVReplica(Component):
+    """One replica: applies the atomic-broadcast stream to a local dict."""
+
+    def __init__(self, name: str, abcast: AtomicBroadcast) -> None:
+        super().__init__(name)
+        self.abcast = abcast
+        self.state: dict[str, Any] = {}
+        self.applied = 0
+
+    # -- client API -------------------------------------------------------
+
+    def submit(self, op: str, key: str, value: Any = None) -> str:
+        """Submit a command; it is applied once totally ordered."""
+        return self.abcast.abroadcast({"op": op, "key": key, "value": value})
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Local (possibly stale) read."""
+        return self.state.get(key, default)
+
+    # -- replication ----------------------------------------------------------
+
+    @action(guard=lambda self: self.applied < len(self.abcast.delivered_log)
+            and self.abcast.delivered_log[self.applied][1] is not None)
+    def apply_next(self) -> None:
+        _, command = self.abcast.delivered_log[self.applied]
+        apply_command(self.state, command)
+        self.applied += 1
+        self.record("kv_apply", n=self.applied)
+
+    def snapshot(self) -> dict[str, Any]:
+        return dict(self.state)
+
+
+@dataclass
+class ReplicationResult:
+    """Verdict of a replicated-KV run."""
+
+    consistent: bool          # all correct replicas reached identical state
+    final_state: Optional[dict[str, Any]]
+    applied: dict[ProcessId, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.consistent
+
+
+def check_replication(
+    replicas: Mapping[ProcessId, KVReplica],
+    correct: Sequence[ProcessId],
+) -> ReplicationResult:
+    """All correct replicas must hold identical state."""
+    states = {pid: replicas[pid].snapshot() for pid in correct}
+    values = list(states.values())
+    consistent = all(v == values[0] for v in values) if values else True
+    return ReplicationResult(
+        consistent=consistent,
+        final_state=values[0] if values else None,
+        applied={pid: replicas[pid].applied for pid in replicas},
+    )

@@ -1,0 +1,305 @@
+"""Obstruction-free STM boosted by a dining-backed contention manager.
+
+Paper Sections 2–3: a contention manager (CM) is a wait-free eventually
+exclusive protocol that boosts obstruction-free software transactional
+memory to wait-freedom — clients ask the CM for permission before running
+a transaction; for a finite prefix the CM may admit several clients at
+once (transactions may abort), but eventually it serializes admissions and
+obstruction-freedom guarantees every admitted transaction commits.
+
+The simulated STM:
+
+* a ``store`` process holds versioned objects; transactions read object
+  versions, compute for a few steps, then submit an atomic compare-and-
+  swap commit (validate read versions, apply writes);
+* **obstruction-freedom**: a transaction whose read set was overwritten
+  concurrently aborts and retries — progress is guaranteed only when it
+  runs in isolation;
+* the **contention manager** is one WF-◇WX dining instance over the
+  clients' conflict graph (clients sharing objects conflict); admission =
+  eating.
+
+Experiment E10 compares ``cm=None`` (raw obstruction-freedom: many aborts,
+unbounded retries under contention) against the dining CM (every
+transaction eventually commits; aborts stop after the CM's exclusive
+suffix begins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.dining.base import DinerComponent
+from repro.dining.spec import check_exclusion
+from repro.dining.wf_ewx import WaitFreeEWXDining
+from repro.errors import ConfigurationError
+from repro.oracles import EventuallyPerfectDetector, attach_detectors
+from repro.sim.component import Component, action, receive
+from repro.sim.engine import Engine, SimConfig
+from repro.sim.faults import CrashSchedule
+from repro.sim.network import PartialSynchronyDelays
+from repro.types import DinerState, Message, ProcessId, Time
+
+CM_INSTANCE = "CM"
+STORE_PID = "store"
+STORE_TAG = "stm-store"
+
+
+class ObjectStore(Component):
+    """The shared versioned-object store (one per system, at ``store``)."""
+
+    def __init__(self, name: str, objects: Sequence[str]) -> None:
+        super().__init__(name)
+        self.data: dict[str, tuple[int, int]] = {o: (0, 0) for o in objects}
+        self.commits = 0
+        self.aborts = 0
+
+    @receive("read")
+    def on_read(self, msg: Message) -> None:
+        obj = msg.payload["obj"]
+        value, version = self.data[obj]
+        self.send(msg.sender, msg.payload["reply_to"], "readv",
+                  obj=obj, value=value, version=version, txid=msg.payload["txid"])
+
+    @receive("commit")
+    def on_commit(self, msg: Message) -> None:
+        reads: dict = msg.payload["reads"]       # obj -> version seen
+        writes: dict = msg.payload["writes"]     # obj -> new value
+        valid = all(self.data[o][1] == v for o, v in reads.items())
+        if valid:
+            for o, v in writes.items():
+                _, version = self.data[o]
+                self.data[o] = (v, version + 1)
+            self.commits += 1
+        else:
+            self.aborts += 1
+        self.send(msg.sender, msg.payload["reply_to"],
+                  "committed" if valid else "aborted",
+                  txid=msg.payload["txid"])
+
+
+class TxClient(Component):
+    """A client running ``tx_target`` increment transactions over its objects.
+
+    Phases per attempt: (admission via CM, if any) → read all objects →
+    ``compute_steps`` local steps (the window in which concurrent writers
+    cause aborts) → commit attempt → on abort, retry the same transaction.
+    """
+
+    def __init__(self, name: str, objects: Sequence[str], tx_target: int,
+                 compute_steps: int = 3,
+                 cm_diner: Optional[DinerComponent] = None) -> None:
+        super().__init__(name)
+        if tx_target < 0 or compute_steps < 1:
+            raise ConfigurationError("bad tx_target/compute_steps")
+        self.objects = tuple(objects)
+        self.tx_target = tx_target
+        self.compute_steps = compute_steps
+        self.cm_diner = cm_diner
+
+        self.committed = 0
+        self.aborted = 0
+        self.retries_per_tx: list[int] = []
+        self._txid = 0
+        self._phase = "idle"     # idle|admission|reading|computing|committing
+        self._reads: dict[str, tuple[int, int]] = {}
+        self._steps_left = 0
+        self._retries = 0
+
+    # -- admission ---------------------------------------------------------------
+
+    def _admitted(self) -> bool:
+        return self.cm_diner is None or self.cm_diner.state is DinerState.EATING
+
+    @action(guard=lambda self: self._phase == "idle"
+            and self.committed < self.tx_target)
+    def begin(self) -> None:
+        self._txid += 1
+        self._retries = 0
+        if self.cm_diner is not None:
+            self.cm_diner.become_hungry()
+            self._phase = "admission"
+        else:
+            self._start_attempt()
+
+    @action(guard=lambda self: self._phase == "admission" and self._admitted())
+    def admitted(self) -> None:
+        self._start_attempt()
+
+    def _start_attempt(self) -> None:
+        self._phase = "reading"
+        self._reads = {}
+        for obj in self.objects:
+            self.send(STORE_PID, STORE_TAG, "read", obj=obj,
+                      reply_to=self.name, txid=self._txid)
+
+    # -- read phase -----------------------------------------------------------------
+
+    @receive("readv")
+    def on_readv(self, msg: Message) -> None:
+        if msg.payload["txid"] != self._txid or self._phase != "reading":
+            return  # stale reply from an aborted attempt
+        self._reads[msg.payload["obj"]] = (
+            msg.payload["value"], msg.payload["version"]
+        )
+        if len(self._reads) == len(self.objects):
+            self._phase = "computing"
+            self._steps_left = self.compute_steps
+
+    # -- compute phase ----------------------------------------------------------------
+
+    @action(guard=lambda self: self._phase == "computing")
+    def compute(self) -> None:
+        self._steps_left -= 1
+        if self._steps_left <= 0:
+            self._phase = "committing"
+            self.send(
+                STORE_PID, STORE_TAG, "commit",
+                reads={o: ver for o, (_, ver) in self._reads.items()},
+                writes={o: val + 1 for o, (val, _) in self._reads.items()},
+                reply_to=self.name, txid=self._txid,
+            )
+
+    # -- commit outcome ------------------------------------------------------------------
+
+    @receive("committed")
+    def on_committed(self, msg: Message) -> None:
+        if msg.payload["txid"] != self._txid:
+            return
+        self.committed += 1
+        self.retries_per_tx.append(self._retries)
+        self.record("tx", outcome="commit", txid=self._txid,
+                    retries=self._retries)
+        self._finish()
+
+    @receive("aborted")
+    def on_aborted(self, msg: Message) -> None:
+        if msg.payload["txid"] != self._txid:
+            return
+        self.aborted += 1
+        self._retries += 1
+        self.record("tx", outcome="abort", txid=self._txid)
+        # Obstruction-freedom: retry (still admitted, if using a CM).
+        self._start_attempt()
+
+    def _finish(self) -> None:
+        if self.cm_diner is not None and self.cm_diner.state is DinerState.EATING:
+            self.cm_diner.exit_eating()
+        self._phase = "idle"
+
+    @property
+    def done(self) -> bool:
+        return self.committed >= self.tx_target
+
+
+@dataclass
+class STMReport:
+    """Outcome of one STM run."""
+
+    with_cm: bool
+    clients: int
+    tx_target: int
+    all_done: bool
+    committed: int
+    aborted: int
+    max_retries: int
+    last_abort_time: Optional[Time]
+    end_time: Time
+    cm_violations: int = 0
+    cm_last_violation: Optional[Time] = None
+
+    def abort_ratio(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+    def format_row(self) -> str:
+        mode = "with CM" if self.with_cm else "no CM  "
+        last = "-" if self.last_abort_time is None else f"{self.last_abort_time:.0f}"
+        return (
+            f"{mode} clients={self.clients} committed={self.committed:4d} "
+            f"aborted={self.aborted:4d} (ratio {self.abort_ratio():.2f}) "
+            f"max_retries={self.max_retries} last_abort@{last} "
+            f"done={self.all_done} t={self.end_time:.0f}"
+        )
+
+
+class ContentionManagedSTM:
+    """Builds and runs one STM scenario, with or without the CM."""
+
+    def __init__(self, n_clients: int = 4, tx_target: int = 20,
+                 seed: int = 0, gst: Time = 100.0, max_time: Time = 6000.0,
+                 compute_steps: int = 3,
+                 shared_objects: Sequence[str] = ("counter",)) -> None:
+        self.n_clients = n_clients
+        self.tx_target = tx_target
+        self.seed = seed
+        self.gst = gst
+        self.max_time = max_time
+        self.compute_steps = compute_steps
+        self.shared_objects = tuple(shared_objects)
+        self.client_pids = [f"c{i}" for i in range(n_clients)]
+
+    def run(self, with_cm: bool) -> STMReport:
+        eng = Engine(
+            SimConfig(seed=self.seed, max_time=self.max_time),
+            delay_model=PartialSynchronyDelays(gst=self.gst, delta=1.5,
+                                               pre_gst_max=15.0),
+        )
+        store_proc = eng.add_process(STORE_PID)
+        store = ObjectStore(STORE_TAG, self.shared_objects)
+        store_proc.add_component(store)
+        for pid in self.client_pids:
+            eng.add_process(pid)
+
+        cm_graph = nx.complete_graph(self.n_clients)
+        cm_graph = nx.relabel_nodes(cm_graph, dict(enumerate(self.client_pids)))
+        diners: dict[ProcessId, DinerComponent] = {}
+        if with_cm:
+            mods = attach_detectors(
+                eng, self.client_pids,
+                lambda o, peers: EventuallyPerfectDetector(
+                    "fd", peers, heartbeat_period=5, initial_timeout=12),
+            )
+            cm = WaitFreeEWXDining(
+                CM_INSTANCE, cm_graph,
+                lambda pid: (lambda q, m=mods[pid]: m.suspected(q)),
+            )
+            diners = dict(cm.attach(eng))
+
+        clients: dict[ProcessId, TxClient] = {}
+        for pid in self.client_pids:
+            client = TxClient("txc", self.shared_objects, self.tx_target,
+                              compute_steps=self.compute_steps,
+                              cm_diner=diners.get(pid))
+            eng.process(pid).add_component(client)
+            clients[pid] = client
+
+        eng.run(stop_when=lambda: all(c.done for c in clients.values()))
+        end = eng.now
+
+        abort_times = [r.time for r in eng.trace.records(kind="tx")
+                       if r["outcome"] == "abort"]
+        report = STMReport(
+            with_cm=with_cm,
+            clients=self.n_clients,
+            tx_target=self.tx_target,
+            all_done=all(c.done for c in clients.values()),
+            committed=sum(c.committed for c in clients.values()),
+            aborted=sum(c.aborted for c in clients.values()),
+            max_retries=max(
+                (max(c.retries_per_tx, default=0) for c in clients.values()),
+                default=0,
+            ),
+            last_abort_time=max(abort_times, default=None),
+            end_time=end,
+        )
+        if with_cm:
+            excl = check_exclusion(eng.trace, cm_graph, CM_INSTANCE,
+                                   CrashSchedule.none(), end)
+            report.cm_violations = excl.count
+            report.cm_last_violation = excl.last_violation_end
+        return report

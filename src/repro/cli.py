@@ -1,0 +1,121 @@
+"""Command-line entry point: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run e4
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+
+def _registry():
+    from repro.experiments import REGISTRY
+
+    return REGISTRY
+
+
+def cmd_list() -> int:
+    registry = _registry()
+    print("available experiments (see DESIGN.md §4 / EXPERIMENTS.md):\n")
+    for eid, mod in registry.items():
+        print(f"  {eid:<4} {mod.TITLE}")
+    return 0
+
+
+def cmd_scenario(path: str) -> int:
+    from repro.scenario import Scenario
+
+    report = Scenario.from_json(path).run()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_sweep(path: str, seeds: Sequence[int]) -> int:
+    from repro.analysis.report import Table
+    from repro.analysis.stats import sweep_many
+    from repro.scenario import Scenario
+
+    base = Scenario.from_json(path)
+
+    def one(seed: int) -> dict:
+        import dataclasses
+
+        scenario = dataclasses.replace(base, seed=seed)
+        report = scenario.run()
+        return {
+            "wait_free": 1.0 if report.wait_freedom.ok else 0.0,
+            "max_wait": report.wait_freedom.max_wait,
+            "violations": float(report.exclusion.count),
+            "last_violation": report.exclusion.last_violation_end,
+            "worst_overtaking": float(report.fairness.worst_overall()),
+            "messages": float(report.metrics.messages_sent),
+        }
+
+    stats = sweep_many(one, list(seeds))
+    table = Table(["metric", "mean ± std [min, max] (n)"],
+                  title=f"sweep: {base.name} over {len(list(seeds))} seeds")
+    for name, st in stats.items():
+        table.add_row([name, st.summary()])
+    print(table.render())
+    return 0 if stats["wait_free"].mean == 1.0 else 1
+
+
+def cmd_run(names: Sequence[str]) -> int:
+    registry = _registry()
+    if list(names) == ["all"]:
+        names = list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'python -m repro list'", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        t0 = time.perf_counter()
+        result = registry[name].run()
+        dt = time.perf_counter() - t0
+        print(result.render())
+        print(f"\n({dt:.1f}s wall)\n{'=' * 72}")
+        failures += 0 if result.ok else 1
+    return 1 if failures else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for 'The Weakest Failure "
+                    "Detector for Wait-Free Dining under Eventual Weak "
+                    "Exclusion'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids and titles")
+    runp = sub.add_parser("run", help="run experiments by id ('all' for every one)")
+    runp.add_argument("names", nargs="+", help="experiment ids, e.g. e1 e4, or 'all'")
+    scen = sub.add_parser("scenario",
+                          help="run a declarative scenario from a JSON file")
+    scen.add_argument("path", help="path to the scenario JSON")
+    swp = sub.add_parser("sweep",
+                         help="run a scenario across a seed range and "
+                              "aggregate statistics")
+    swp.add_argument("path", help="path to the scenario JSON")
+    swp.add_argument("--seeds", type=int, default=8,
+                     help="number of seeds (0..N-1, default 8)")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "scenario":
+        return cmd_scenario(args.path)
+    if args.command == "sweep":
+        return cmd_sweep(args.path, range(args.seeds))
+    return cmd_run(args.names)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

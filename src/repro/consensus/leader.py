@@ -1,0 +1,51 @@
+"""Stable leader election checkers.
+
+:class:`~repro.oracles.omega.OmegaElector` publishes each process's leader
+estimate as ``"leader"`` trace rows; these helpers verify the Ω contract —
+eventually every correct process permanently agrees on the same correct
+leader — and report when stabilization happened.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.faults import CrashSchedule
+from repro.sim.temporal import stable_suffix_start
+from repro.sim.trace import Trace
+from repro.types import ProcessId, Time
+
+
+def leader_series(trace: Trace, pid: ProcessId) -> list[tuple[Time, ProcessId]]:
+    """``(time, leader_estimate)`` history of one process."""
+    return trace.series("leader", "leader", pid=pid)
+
+
+def check_leader_stability(
+    trace: Trace,
+    pids: Sequence[ProcessId],
+    schedule: CrashSchedule,
+) -> tuple[bool, Optional[ProcessId], Optional[Time]]:
+    """Verify Ω: returns ``(ok, final_leader, stabilization_time)``.
+
+    ok iff every correct process's final estimate is the same *correct*
+    process.  ``stabilization_time`` is the latest final estimate change
+    across correct processes.
+    """
+    correct = schedule.correct(pids)
+    finals: set[ProcessId] = set()
+    stabilized: list[Time] = []
+    for pid in correct:
+        series = leader_series(trace, pid)
+        if not series:
+            return False, None, None
+        finals.add(series[-1][1])
+        t = stable_suffix_start(series)
+        if t is not None:
+            stabilized.append(t)
+    if len(finals) != 1:
+        return False, None, None
+    leader = next(iter(finals))
+    if leader not in correct:
+        return False, leader, None
+    return True, leader, max(stabilized, default=0.0)

@@ -1,0 +1,93 @@
+"""Assembling the full ◇P detector from per-pair reductions.
+
+The paper implements ◇P "for each ordered pair of processes" (Section 6);
+the full detector at ``p`` is simply the union of p's per-pair suspicion
+bits.  :func:`build_full_extraction` installs all ``n·(n-1)`` ordered pairs
+(hence ``2·n·(n-1)`` dining instances) over the given black box and returns
+one queryable :class:`ExtractedDetector` facade per process — the same
+query surface as a native :class:`~repro.oracles.base.OracleModule`, so the
+extracted oracle can drive downstream protocols (consensus, leader
+election, fair dining) unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.pair import EXTRACTED_LABEL, DiningBoxFactory, ReductionPair
+from repro.core.witness import ExtractedPairModule
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.types import ProcessId
+
+
+class ExtractedDetector:
+    """Facade over one process's extracted pair modules.
+
+    Presents the ``suspects() / suspected(q) / trusted(q)`` query API of a
+    local ◇P module, backed by the reduction's outputs.
+    """
+
+    def __init__(self, owner: ProcessId,
+                 pair_outputs: Mapping[ProcessId, ExtractedPairModule]) -> None:
+        self.owner = owner
+        self._outputs = dict(pair_outputs)
+        self.monitored = tuple(sorted(self._outputs))
+
+    def suspects(self) -> frozenset[ProcessId]:
+        return frozenset(
+            q for q, module in self._outputs.items() if module.suspected(q)
+        )
+
+    def suspected(self, q: ProcessId) -> bool:
+        try:
+            return self._outputs[q].suspected(q)
+        except KeyError:
+            raise ConfigurationError(
+                f"extracted detector at {self.owner} does not monitor {q!r}"
+            ) from None
+
+    def trusted(self, q: ProcessId) -> bool:
+        return not self.suspected(q)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExtractedDetector({self.owner} monitors {list(self.monitored)})"
+
+
+def build_full_extraction(
+    engine: Engine,
+    pids: Sequence[ProcessId],
+    box_factory: DiningBoxFactory,
+    monitor_invariants: bool = False,
+    monitors: Iterable[tuple[ProcessId, ProcessId]] | None = None,
+    label: str = EXTRACTED_LABEL,
+) -> tuple[dict[ProcessId, ExtractedDetector], dict[tuple[ProcessId, ProcessId], ReductionPair]]:
+    """Install the reduction for every ordered pair (or a chosen subset).
+
+    Parameters
+    ----------
+    monitors:
+        Optional explicit list of ``(witness, subject)`` pairs; defaults to
+        all ordered pairs over ``pids``.
+
+    Returns
+    -------
+    ``(detectors, pairs)`` — the per-process facades and the raw pair
+    objects (whose thread diagnostics the lemma tests use).
+    """
+    if monitors is None:
+        monitors = [(p, q) for p in pids for q in pids if p != q]
+    pairs: dict[tuple[ProcessId, ProcessId], ReductionPair] = {}
+    outputs: dict[ProcessId, dict[ProcessId, ExtractedPairModule]] = {
+        p: {} for p in pids
+    }
+    for p, q in monitors:
+        pair = ReductionPair(p, q, box_factory,
+                             monitor_invariants=monitor_invariants, label=label)
+        output = pair.attach(engine)
+        pairs[(p, q)] = pair
+        outputs.setdefault(p, {})[q] = output
+    detectors = {
+        p: ExtractedDetector(p, mods) for p, mods in outputs.items() if mods
+    }
+    return detectors, pairs

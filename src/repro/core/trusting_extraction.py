@@ -1,0 +1,56 @@
+"""Section 9: the same reduction over a *perpetual*-WX box extracts T.
+
+The paper's secondary result: apply the witness/subject reduction to any
+wait-free dining solution for perpetual weak exclusion (live neighbors
+never eat simultaneously) and the extracted oracle satisfies the trusting
+detector's properties:
+
+* **strong completeness** — unchanged from the ◇P argument;
+* **trusting accuracy** — under WX the witness throttling holds from time
+  zero (there is no mistake prefix), so once a witness trusts ``q`` (a ping
+  arrived between its sessions), any later suspicion onset can only happen
+  because the subject stopped cycling — i.e. ``q`` crashed.  Initial
+  suspicion of not-yet-registered processes is permitted by T.
+
+The paper further notes (prose only, no algorithm given) that an *amended*
+reduction extracts an oracle strictly stronger than T, implying T alone is
+insufficient for wait-free mutual exclusion; we record that claim in
+EXPERIMENTS.md but do not implement the amendment.
+
+This module is a thin veneer: the reduction code is literally
+:func:`~repro.core.extraction.build_full_extraction`; only the box and the
+trace label differ.  Experiment E7 checks the extracted outputs with
+:func:`~repro.oracles.properties.check_trusting_accuracy`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.extraction import ExtractedDetector, build_full_extraction
+from repro.core.pair import DiningBoxFactory, ReductionPair
+from repro.sim.engine import Engine
+from repro.types import ProcessId
+
+TRUSTING_LABEL = "extractedT"
+
+
+def build_trusting_extraction(
+    engine: Engine,
+    pids: Sequence[ProcessId],
+    perpetual_box_factory: DiningBoxFactory,
+    monitor_invariants: bool = False,
+) -> tuple[dict[ProcessId, ExtractedDetector], dict[tuple[ProcessId, ProcessId], ReductionPair]]:
+    """Install the reduction over a perpetual-WX black box.
+
+    The caller is responsible for passing a genuinely perpetual-WX factory
+    (e.g. :class:`~repro.dining.perpetual.PerpetualDining` with a
+    crash-accurate provider); the function relabels the extracted outputs
+    ``"extractedT"`` so T-specific trace checks do not collide with ◇P
+    extractions in the same run.
+    """
+    return build_full_extraction(
+        engine, pids, perpetual_box_factory,
+        monitor_invariants=monitor_invariants,
+        label=TRUSTING_LABEL,
+    )

@@ -1,0 +1,120 @@
+"""An adversarial-but-legal WF-◇WX black box (the Section 3 counterexample).
+
+The paper's Section 3 observes that the construction of [8] (Guerraoui et
+al., boosting obstruction-freedom) extracts ◇P correctly only from dining
+implementations that guarantee an exclusive suffix *even when some process
+never exits its critical section*.  Legal WF-◇WX implementations exist that
+do not: e.g. the algorithm of [12] owes exclusion only after (1) ◇P stops
+erring and (2) every diner that entered eating before that has exited.
+
+:class:`DeferredExclusionDining` makes that worst legal citizen concrete.
+It extends the base ◇P algorithm with one extra scheduling rule: a hungry
+diner may ignore (eat concurrently with) any neighbor whose *current*
+eating session began at or before an internal ``mistake_horizon`` time C.
+
+Legality ("a correct solution in every run where correct diners eat
+finitely", which is all the specification demands):
+
+* **wait-freedom** — strictly more permissive than the base algorithm;
+* **◇WX** — sessions that began by C close in finite time (correct diners
+  eat finitely; a crashed eater is not *live*, so eating over it violates
+  nothing), after which the extra rule never fires again and the base
+  algorithm's eventual exclusion takes over.
+
+In runs where a diner eats *forever* — precisely the run the construction
+of [8] manufactures — this box keeps scheduling its neighbor concurrently,
+so the [8] detector suspects a correct process infinitely often (experiment
+E4).  The paper's two-instance reduction keeps working because its subject
+threads always eat finite sessions while observed.
+
+Implementation notes: the box consults the global clock and a shared
+per-instance ledger of open eating sessions.  Both are *modelling* devices
+for an adversarial implementation's internal behaviour — the client-facing
+surface is still the plain black-box dining API, which is all the
+reduction sees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.dining.base import SuspicionProvider
+from repro.dining.wf_ewx import EWXDiner, WaitFreeEWXDining
+from repro.sim.component import action
+from repro.types import DinerState, ProcessId, Time
+
+
+class SessionLedger:
+    """Shared record of the open eating session (if any) of each diner."""
+
+    def __init__(self) -> None:
+        self._open: dict[ProcessId, Time] = {}
+
+    def opened(self, pid: ProcessId, at: Time) -> None:
+        self._open[pid] = at
+
+    def closed(self, pid: ProcessId) -> None:
+        self._open.pop(pid, None)
+
+    def open_since(self, pid: ProcessId) -> Optional[Time]:
+        return self._open.get(pid)
+
+
+class DeferredDiner(EWXDiner):
+    """Base diner plus the 'ignore pre-horizon eaters' scheduling rule."""
+
+    def __init__(self, name: str, instance_id: str,
+                 neighbors: tuple[ProcessId, ...], suspect,
+                 ledger: SessionLedger, mistake_horizon: Time) -> None:
+        super().__init__(name, instance_id, neighbors, suspect)
+        self.ledger = ledger
+        self.mistake_horizon = float(mistake_horizon)
+
+    def _ignorable(self, q: ProcessId) -> bool:
+        """May we eat concurrently with ``q``?  Only if q's current session
+        opened at or before the internal horizon C."""
+        since = self.ledger.open_since(q)
+        return since is not None and since <= self.mistake_horizon
+
+    @action(guard=lambda self: self.state is DinerState.HUNGRY
+            and any(self._ignorable(q) and not self.fork[q]
+                    for q in self.neighbors)
+            and all(self.fork[q] or self.suspect(q) or self._ignorable(q)
+                    for q in self.neighbors))
+    def enter_over_stale_sessions(self) -> None:
+        """The adversarial grant: eat over neighbors stuck in pre-C sessions."""
+        self._begin_eating()
+
+    # Ledger bookkeeping rides on the state setter so *every* path into or
+    # out of eating (base rule or adversarial rule) is covered.
+    def _set_state(self, new: DinerState) -> None:
+        if new is DinerState.EATING:
+            self.ledger.opened(self.pid, self.process.env_now())
+        elif self.state is DinerState.EATING:
+            self.ledger.closed(self.pid)
+        super()._set_state(new)
+
+
+class DeferredExclusionDining(WaitFreeEWXDining):
+    """Factory for the adversarial box.
+
+    ``mistake_horizon`` is the internal time C until which freshly-started
+    eating sessions remain 'ignorable' for as long as they stay open.
+    """
+
+    def __init__(self, instance_id: str, graph: nx.Graph,
+                 suspicion_provider: SuspicionProvider,
+                 mistake_horizon: Time = 100.0) -> None:
+        super().__init__(instance_id, graph, suspicion_provider)
+        self.mistake_horizon = float(mistake_horizon)
+        self.ledger = SessionLedger()
+
+    def build_diner(self, pid: ProcessId,
+                    neighbors: tuple[ProcessId, ...]) -> DeferredDiner:
+        return DeferredDiner(
+            self.component_name(), self.instance_id, neighbors,
+            suspect=self.suspicion_provider(pid),
+            ledger=self.ledger, mistake_horizon=self.mistake_horizon,
+        )

@@ -1,0 +1,28 @@
+"""The fault-intolerant baseline: classic Chandy–Misra hygienic dining.
+
+Identical to :class:`~repro.dining.wf_ewx.WaitFreeEWXDining` but with a
+never-suspecting oracle — i.e. the suspicion override can never fire.  In
+failure-free runs this is the textbook algorithm: perpetual weak exclusion
+and starvation-freedom.  Under a single crash, any neighbor whose shared
+fork is stranded at the crashed process starves forever — the phenomenon
+that motivates failure detectors (experiment E2's baseline contrast).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.dining.wf_ewx import WaitFreeEWXDining
+from repro.types import ProcessId
+
+
+def never_suspect(pid: ProcessId):
+    """The null oracle: trusts everyone forever."""
+    return lambda q: False
+
+
+class HygienicDining(WaitFreeEWXDining):
+    """Chandy–Misra dining: perpetual WX, no crash tolerance."""
+
+    def __init__(self, instance_id: str, graph: nx.Graph) -> None:
+        super().__init__(instance_id, graph, suspicion_provider=never_suspect)

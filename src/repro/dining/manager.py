@@ -1,0 +1,203 @@
+"""A coordinator-based WF-◇WX dining box (third black-box implementation).
+
+Structurally unlike the edge-token hygienic algorithm: scheduling is done
+by a *manager* role that migrates under suspicion.
+
+* Every diner's manager estimate is the smallest instance vertex its local
+  ◇P does not suspect (an Ω-style election restricted to the instance).
+* A hungry diner sends a ``request`` (with a fresh id) to its current
+  estimate and re-sends whenever the estimate changes.
+* The manager role runs at every process but only answers when it believes
+  itself the manager: it grants the oldest compatible request (no granted
+  conflict-graph neighbor), queues the rest, and reclaims grants whose
+  holders it suspects (their crash would otherwise block neighbors).
+* A diner eats on a grant matching its current request id; stale grants
+  (from deposed managers or superseded requests) are declined so the
+  issuing manager frees the slot.
+
+Why the specification holds:
+
+* **wait-freedom** — once ◇P converges, all correct diners agree on the
+  same correct manager; requests reach it, grants are issued
+  oldest-first among compatible requests, eating is finite, and crashed
+  holders are reclaimed — so every hungry correct diner is eventually
+  granted.
+* **◇WX** — while estimates disagree, two self-believed managers can grant
+  conflicting sessions (real scheduling mistakes); after convergence a
+  single manager enforces exclusion, and only finitely many stale grants
+  are in flight.
+
+Used as the third box in experiments E2/E3 to stress the reduction's
+universality claim across qualitatively different implementations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import networkx as nx
+
+from repro.dining.base import DinerComponent, DiningInstance, SuspicionProvider
+from repro.sim.component import Component, action, receive
+from repro.types import DinerState, Message, ProcessId
+
+_request_ids = itertools.count(1)
+
+
+class ManagedDiner(DinerComponent):
+    """The diner-side protocol: request / await grant / release."""
+
+    def __init__(self, name: str, instance_id: str,
+                 neighbors: tuple[ProcessId, ...],
+                 vertices: tuple[ProcessId, ...], suspect,
+                 manager_tag: str) -> None:
+        super().__init__(name, instance_id, neighbors)
+        self.vertices = tuple(sorted(vertices))
+        self.suspect = suspect
+        self.manager_tag = manager_tag
+        self._request_id: Optional[int] = None
+        self._requested_from: Optional[ProcessId] = None
+        self._granted_by: Optional[ProcessId] = None
+
+    def manager_estimate(self) -> ProcessId:
+        for v in self.vertices:
+            if v == self.pid or not self.suspect(v):
+                return v
+        return self.pid   # suspect everyone: act as own manager
+
+    def on_hungry(self) -> None:
+        self._request_id = next(_request_ids)
+        self._requested_from = None   # force a (re)send
+
+    def on_exit(self) -> None:
+        if self._granted_by is not None:
+            self.send(self._granted_by, self.manager_tag, "release",
+                      rid=self._request_id)
+        self._granted_by = None
+        self._request_id = None
+        self._requested_from = None
+
+    @action(guard=lambda self: self.state is DinerState.HUNGRY
+            and self._requested_from != self.manager_estimate())
+    def send_request(self) -> None:
+        """(Re)send the request whenever the manager estimate moves."""
+        target = self.manager_estimate()
+        self._requested_from = target
+        self.send(target, self.manager_tag, "request", rid=self._request_id)
+
+    @receive("grant")
+    def on_grant(self, msg: Message) -> None:
+        rid = msg.payload["rid"]
+        if self.state is DinerState.HUNGRY and rid == self._request_id:
+            self._granted_by = msg.sender
+            self._set_state(DinerState.EATING)
+        else:
+            # Stale grant (old request or already eating via another
+            # manager): decline so the issuer frees the slot.
+            self.send(msg.sender, self.manager_tag, "release", rid=rid)
+
+    @action(guard=lambda self: self.state is DinerState.EXITING)
+    def finish_exiting(self) -> None:
+        self._set_state(DinerState.THINKING)
+
+
+class ManagerRole(Component):
+    """The manager-side protocol, active at every process of the instance."""
+
+    def __init__(self, name: str, graph: nx.Graph, suspect,
+                 diner_tag: str) -> None:
+        super().__init__(name)
+        self.graph = graph
+        self.suspect = suspect
+        self.diner_tag = diner_tag
+        self.vertices = tuple(sorted(graph.nodes))
+        #: rid -> holder, for sessions this manager believes are running.
+        self.granted: dict[int, ProcessId] = {}
+        #: pending requests, oldest first: (rid, requester).
+        self.queue: list[tuple[int, ProcessId]] = []
+        self.grants_issued = 0
+
+    def _suspects(self, q: ProcessId) -> bool:
+        """Self-queries are never suspicion (a live process trusts itself)."""
+        return q != self.pid and self.suspect(q)
+
+    def believes_self_manager(self) -> bool:
+        for v in self.vertices:
+            if v == self.pid:
+                return True
+            if not self.suspect(v):
+                return False
+        return True
+
+    def _conflicts(self, who: ProcessId) -> bool:
+        busy = set(self.granted.values())
+        return who in busy or any(
+            n in busy for n in self.graph.neighbors(who)
+        )
+
+    @receive("request")
+    def on_request(self, msg: Message) -> None:
+        entry = (msg.payload["rid"], msg.sender)
+        if entry not in self.queue and entry[0] not in self.granted:
+            self.queue.append(entry)
+
+    @receive("release")
+    def on_release(self, msg: Message) -> None:
+        self.granted.pop(msg.payload["rid"], None)
+
+    @action(guard=lambda self: bool(self.queue)
+            and self.believes_self_manager())
+    def serve(self) -> None:
+        """Grant the oldest compatible request; reclaim dead holders first."""
+        for rid, holder in list(self.granted.items()):
+            if self._suspects(holder):
+                del self.granted[rid]   # holder presumed crashed: reclaim
+        # Never grant past an older waiting request it would conflict with
+        # (otherwise younger requests around a blocked head starve it).
+        blocked: set[ProcessId] = set()
+        for i, (rid, who) in enumerate(self.queue):
+            if self._suspects(who):
+                # A crashed requester would occupy a slot forever.
+                del self.queue[i]
+                return
+            if not self._conflicts(who) and who not in blocked:
+                del self.queue[i]
+                self.granted[rid] = who
+                self.grants_issued += 1
+                self.send(who, self.diner_tag, "grant", rid=rid)
+                return
+            blocked.add(who)
+            blocked.update(self.graph.neighbors(who))
+
+
+class ManagerDining(DiningInstance):
+    """Factory for the coordinator-based box."""
+
+    def __init__(self, instance_id: str, graph: nx.Graph,
+                 suspicion_provider: SuspicionProvider) -> None:
+        super().__init__(instance_id, graph)
+        self.suspicion_provider = suspicion_provider
+        self.managers: dict[ProcessId, ManagerRole] = {}
+
+    def manager_tag(self) -> str:
+        return f"{self.instance_id}:mgr"
+
+    def build_diner(self, pid: ProcessId,
+                    neighbors: tuple[ProcessId, ...]) -> ManagedDiner:
+        return ManagedDiner(
+            self.component_name(), self.instance_id, neighbors,
+            vertices=tuple(self.graph.nodes),
+            suspect=self.suspicion_provider(pid),
+            manager_tag=self.manager_tag(),
+        )
+
+    def attach(self, engine):
+        diners = super().attach(engine)
+        for pid in sorted(self.graph.nodes):
+            role = ManagerRole(self.manager_tag(), self.graph,
+                               self.suspicion_provider(pid),
+                               diner_tag=self.component_name())
+            engine.process(pid).add_component(role)
+            self.managers[pid] = role
+        return diners

@@ -1,0 +1,263 @@
+"""Trace checkers for the dining problem specification.
+
+The paper's two requirements (Section 4):
+
+* **Eventual Weak Exclusion (◇WX)** — for every run there is a time after
+  which no two *live* neighbors eat simultaneously.  On a finite trace this
+  is reported as violation data (count + time of the last violation) rather
+  than a boolean, because finitely many violations are legal; experiments
+  assert convergence against their own knowledge of the run (e.g. the
+  oracle's convergence time).
+* **Wait-Freedom** — if correct processes eat for finite time, every
+  correct hungry process eventually eats, regardless of crashes.
+
+Perpetual weak exclusion (WX, Section 9) and eventual k-fairness
+(Section 8) checkers are also provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.sim.faults import CrashSchedule
+from repro.sim.trace import Trace, intervals_overlap, state_intervals
+from repro.types import DinerState, ProcessId, Time
+
+Interval = tuple[Time, Time]
+
+
+def state_series(trace: Trace, instance: str, pid: ProcessId) -> list[tuple[Time, str]]:
+    """The diner's ``(time, state)`` series for one instance."""
+    return trace.series(
+        "state", "state", pid=pid, where=lambda r: r.get("instance") == instance
+    )
+
+
+def _clip(intervals: Sequence[Interval], cutoff: Optional[Time]) -> list[Interval]:
+    """Clip intervals at a crash time (a crashed diner stops conflicting)."""
+    if cutoff is None:
+        return list(intervals)
+    out = []
+    for a, b in intervals:
+        if a >= cutoff:
+            continue
+        out.append((a, min(b, cutoff)))
+    return out
+
+
+def eating_intervals(
+    trace: Trace,
+    instance: str,
+    pid: ProcessId,
+    end_time: Time,
+    schedule: CrashSchedule | None = None,
+) -> list[Interval]:
+    """Closed eating sessions of one diner; clipped at its crash if any."""
+    series = state_series(trace, instance, pid)
+    ivs = state_intervals(series, DinerState.EATING.value, end_time)
+    cutoff = schedule.crash_time(pid) if schedule is not None else None
+    return _clip(ivs, cutoff)
+
+
+def hungry_intervals(
+    trace: Trace,
+    instance: str,
+    pid: ProcessId,
+    end_time: Time,
+) -> list[Interval]:
+    """Closed hungry sessions of one diner (not crash-clipped)."""
+    series = state_series(trace, instance, pid)
+    return state_intervals(series, DinerState.HUNGRY.value, end_time)
+
+
+@dataclass(frozen=True)
+class ExclusionViolation:
+    """Two live neighbors eating simultaneously during ``[start, end)``."""
+
+    u: ProcessId
+    v: ProcessId
+    start: Time
+    end: Time
+
+
+@dataclass
+class ExclusionReport:
+    """◇WX / WX verdict data for one instance."""
+
+    instance: str
+    violations: list[ExclusionViolation] = field(default_factory=list)
+    end_time: Time = 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.violations)
+
+    @property
+    def last_violation_end(self) -> Optional[Time]:
+        """End of the final violation — the empirical ◇WX convergence point."""
+        return max((v.end for v in self.violations), default=None)
+
+    @property
+    def perpetual_ok(self) -> bool:
+        """True iff the run satisfies *perpetual* weak exclusion."""
+        return not self.violations
+
+    def eventually_exclusive_by(self, t: Time) -> bool:
+        """Did all violations end by time ``t``?  (◇WX convergence test.)"""
+        last = self.last_violation_end
+        return last is None or last <= t
+
+    def format_table(self) -> str:
+        head = (
+            f"exclusion[{self.instance}]: {self.count} violation(s), "
+            f"last ends at "
+            f"{'-' if self.last_violation_end is None else f'{self.last_violation_end:.1f}'}"
+        )
+        rows = [
+            f"  {v.u}<->{v.v}: [{v.start:.1f}, {v.end:.1f})"
+            for v in self.violations[:20]
+        ]
+        if self.count > 20:
+            rows.append(f"  ... {self.count - 20} more")
+        return "\n".join([head] + rows)
+
+
+def check_exclusion(
+    trace: Trace,
+    graph: nx.Graph,
+    instance: str,
+    schedule: CrashSchedule,
+    end_time: Time,
+) -> ExclusionReport:
+    """Find every interval during which two live neighbors ate together."""
+    report = ExclusionReport(instance=instance, end_time=end_time)
+    ivs = {
+        pid: eating_intervals(trace, instance, pid, end_time, schedule)
+        for pid in graph.nodes
+    }
+    for u, v in sorted(tuple(sorted(e)) for e in graph.edges):
+        for a in ivs[u]:
+            for b in ivs[v]:
+                if intervals_overlap(a, b):
+                    report.violations.append(
+                        ExclusionViolation(
+                            u=u, v=v,
+                            start=max(a[0], b[0]), end=min(a[1], b[1]),
+                        )
+                    )
+    report.violations.sort(key=lambda x: (x.start, x.end, x.u, x.v))
+    return report
+
+
+@dataclass
+class WaitFreedomReport:
+    """Wait-freedom verdict for one instance."""
+
+    instance: str
+    ok: bool
+    starving: list[ProcessId] = field(default_factory=list)
+    max_wait: Time = 0.0
+    sessions: dict[ProcessId, int] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        lines = [
+            f"wait-freedom[{self.instance}]: {'OK' if self.ok else 'VIOLATED'} "
+            f"(max hungry wait {self.max_wait:.1f})"
+        ]
+        if self.starving:
+            lines.append(f"  starving: {', '.join(self.starving)}")
+        for pid, n in sorted(self.sessions.items()):
+            lines.append(f"  {pid}: {n} eating session(s)")
+        return "\n".join(lines)
+
+
+def check_wait_freedom(
+    trace: Trace,
+    graph: nx.Graph,
+    instance: str,
+    schedule: CrashSchedule,
+    end_time: Time,
+    grace: Time = 0.0,
+) -> WaitFreedomReport:
+    """Every correct diner's hunger is served.
+
+    A correct diner still hungry at the end of the run counts as starving
+    unless its pending hunger began within ``grace`` of ``end_time``
+    (finite-run allowance: 'eventually' cannot be refuted by a fresh
+    request).  ``max_wait`` is the longest completed-or-pending hungry
+    interval across correct diners.
+    """
+    starving: list[ProcessId] = []
+    max_wait = 0.0
+    sessions: dict[ProcessId, int] = {}
+    for pid in sorted(graph.nodes):
+        series = state_series(trace, instance, pid)
+        sessions[pid] = sum(
+            1 for _, s in series if s == DinerState.EATING.value
+        )
+        if schedule.is_faulty(pid):
+            continue
+        for start, end in state_intervals(series, DinerState.HUNGRY.value, end_time):
+            max_wait = max(max_wait, end - start)
+            closed = end < end_time or (
+                series and series[-1][1] != DinerState.HUNGRY.value
+            )
+            if not closed and start < end_time - grace:
+                starving.append(pid)
+    return WaitFreedomReport(
+        instance=instance,
+        ok=not starving,
+        starving=starving,
+        max_wait=max_wait,
+        sessions=sessions,
+    )
+
+
+@dataclass(frozen=True)
+class OvertakeSample:
+    """How often neighbor ``eater`` ate during one hungry interval of ``waiter``."""
+
+    waiter: ProcessId
+    eater: ProcessId
+    hungry_start: Time
+    count: int
+
+
+def overtake_samples(
+    trace: Trace,
+    graph: nx.Graph,
+    instance: str,
+    end_time: Time,
+) -> list[OvertakeSample]:
+    """For every hungry interval of every diner, count each neighbor's
+    eating-session onsets inside it (the k-fairness statistic, Section 8)."""
+    onsets: dict[ProcessId, list[Time]] = {}
+    hungry: dict[ProcessId, list[Interval]] = {}
+    for pid in graph.nodes:
+        series = state_series(trace, instance, pid)
+        onsets[pid] = [t for t, s in series if s == DinerState.EATING.value]
+        hungry[pid] = state_intervals(series, DinerState.HUNGRY.value, end_time)
+    samples: list[OvertakeSample] = []
+    for pid in sorted(graph.nodes):
+        for start, end in hungry[pid]:
+            for nbr in sorted(graph.neighbors(pid)):
+                n = sum(1 for t in onsets[nbr] if start < t <= end)
+                samples.append(OvertakeSample(pid, nbr, start, n))
+    return samples
+
+
+def eventual_k_fairness(
+    samples: Sequence[OvertakeSample],
+    k: int,
+    after: Time = 0.0,
+) -> tuple[bool, int]:
+    """Does every sample starting after ``after`` respect the bound ``k``?
+
+    Returns ``(ok, worst_count_in_suffix)``.
+    """
+    suffix = [s for s in samples if s.hungry_start >= after]
+    worst = max((s.count for s in suffix), default=0)
+    return worst <= k, worst

@@ -1,0 +1,117 @@
+"""A legal WF-◇WX box with bounded-but-brutal unfairness.
+
+The paper's Section 5.1 observes that WF-◇WX "does not guarantee fairness
+insofar as it is possible for p to eat an unbounded number of times between
+each time q eats" — which is why the reduction needs two instances and the
+hand-off.  This box makes that latitude concrete in a bounded form that is
+still wait-free: its manager serves one designated **VIP** diner up to
+``burst`` consecutive times whenever the VIP is asking, before letting
+anyone else in.
+
+* **wait-freedom** — the VIP streak is capped at ``burst``; afterwards the
+  oldest non-VIP compatible request is served, so nobody starves;
+* **◇WX** — inherited from the manager scheme (single manager after ◇P
+  converges).
+
+Experiment E20 runs the paper's *preliminary* single-instance construction
+over this box (VIP = the witness): between two subject meals the witness
+eats up to ``burst`` times, reads ``haveping = false`` on all but the
+first, and so suspects the correct subject forever — while the paper's
+two-instance reduction on the very same box stays correct, because the
+subjects' hand-off keeps one of them eating at all times and exclusion
+throttles the witnesses regardless of the box's scheduling bias.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.dining.base import SuspicionProvider
+from repro.dining.manager import ManagedDiner, ManagerDining, ManagerRole
+from repro.errors import ConfigurationError
+from repro.sim.component import action
+from repro.types import ProcessId
+
+
+class UnfairManagerRole(ManagerRole):
+    """Manager that favours the VIP for up to ``burst`` consecutive grants."""
+
+    def __init__(self, name: str, graph: nx.Graph, suspect, diner_tag: str,
+                 vip: ProcessId, burst: int) -> None:
+        super().__init__(name, graph, suspect, diner_tag)
+        if burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+        self.vip = vip
+        self.burst = int(burst)
+        self._vip_streak = 0
+
+    def _grant(self, index: int) -> None:
+        rid, who = self.queue.pop(index)
+        self.granted[rid] = who
+        self.grants_issued += 1
+        if who == self.vip:
+            self._vip_streak += 1
+        else:
+            self._vip_streak = 0
+        self.send(who, self.diner_tag, "grant", rid=rid)
+
+    @action(guard=lambda self: bool(self.queue)
+            and self.believes_self_manager())
+    def serve(self) -> None:  # overrides the fair policy
+        for rid, holder in list(self.granted.items()):
+            if self._suspects(holder):
+                del self.granted[rid]
+        # VIP first, while its streak budget lasts.
+        if self._vip_streak < self.burst:
+            for i, (rid, who) in enumerate(self.queue):
+                if who == self.vip and not self._conflicts(who):
+                    self._grant(i)
+                    return
+        # Otherwise: oldest compatible non-VIP (with the anti-starvation
+        # blocked-set rule of the parent).
+        blocked: set[ProcessId] = set()
+        for i, (rid, who) in enumerate(self.queue):
+            if self._suspects(who):
+                del self.queue[i]
+                return
+            if who != self.vip and not self._conflicts(who) \
+                    and who not in blocked:
+                self._grant(i)
+                return
+            blocked.add(who)
+            blocked.update(self.graph.neighbors(who))
+        # Nobody else is asking: the VIP may continue past its budget
+        # (granting it then starves no one).
+        if all(who == self.vip for _, who in self.queue):
+            for i, (rid, who) in enumerate(self.queue):
+                if not self._conflicts(who):
+                    self._grant(i)
+                    return
+
+
+class UnfairManagerDining(ManagerDining):
+    """Factory for the VIP-biased box."""
+
+    def __init__(self, instance_id: str, graph: nx.Graph,
+                 suspicion_provider: SuspicionProvider,
+                 vip: ProcessId, burst: int = 3) -> None:
+        super().__init__(instance_id, graph, suspicion_provider)
+        if vip not in graph.nodes:
+            raise ConfigurationError(f"vip {vip!r} is not a diner")
+        self.vip = vip
+        self.burst = burst
+
+    def attach(self, engine):
+        from repro.dining.base import DiningInstance
+
+        diners = DiningInstance.attach(self, engine)   # diners only
+        for pid in sorted(self.graph.nodes):
+            role = UnfairManagerRole(
+                self.manager_tag(), self.graph,
+                self.suspicion_provider(pid),
+                diner_tag=self.component_name(),
+                vip=self.vip, burst=self.burst,
+            )
+            engine.process(pid).add_component(role)
+            self.managers[pid] = role
+        return diners

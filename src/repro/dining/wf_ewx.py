@@ -1,0 +1,170 @@
+"""Wait-free dining under eventual weak exclusion, from ◇P.
+
+This is the sufficiency-side algorithm (the paper's reference [12], Pike &
+Song): classic hygienic dining (Chandy–Misra fork/request-token protocol)
+with a *suspicion override* — a hungry diner may begin eating once, for
+every neighbor, it either holds the shared fork or currently suspects the
+neighbor per its local ◇P module.
+
+Why the two properties hold:
+
+* **Wait-freedom** — a crashed neighbor is eventually permanently suspected
+  (◇P strong completeness), so its unrecoverable fork stops blocking anyone;
+  among correct processes the hygienic clean/dirty priority gives classic
+  starvation-freedom.
+* **◇WX** — while ◇P makes mistakes a diner may eat without a live
+  neighbor's fork, so both may eat together; once ◇P converges no correct
+  neighbor is suspected, eating again requires real forks, and fork tokens
+  are never duplicated — so live neighbors stop eating simultaneously.
+
+Per-edge token discipline (the hygienic invariants, enforced and tested):
+
+* exactly one **fork** and one **request token** per edge, on opposite
+  sides or in transit;
+* forks start dirty at the lower-id endpoint (an acyclic priority
+  orientation);
+* a holder yields a *dirty* fork on request unless eating (cleaning it in
+  transit); a *clean* fork is kept until after the holder eats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+
+from repro.dining.base import DinerComponent, DiningInstance, SuspicionProvider
+from repro.sim.component import action, receive
+from repro.types import DinerState, Message, ProcessId
+
+Suspect = Callable[[ProcessId], bool]
+
+
+class EWXDiner(DinerComponent):
+    """One diner of a :class:`WaitFreeEWXDining` instance."""
+
+    def __init__(self, name: str, instance_id: str,
+                 neighbors: tuple[ProcessId, ...], suspect: Suspect) -> None:
+        super().__init__(name, instance_id, neighbors)
+        self.suspect = suspect
+        # Initial orientation: the lower id holds the fork, dirty; the
+        # higher id holds the request token.  Installed on attach (needs pid).
+        self.fork: dict[ProcessId, bool] = {}
+        self.dirty: dict[ProcessId, bool] = {}
+        self.token: dict[ProcessId, bool] = {}
+        #: Edges with an outstanding fork request, mapped to the eating
+        #: session count at request time.  Prevents duplicate requests and
+        #: lets :meth:`on_fork` recognize stale grants (see below).
+        self._requested: dict[ProcessId, int] = {}
+
+    def attached(self) -> None:
+        super().attached()
+        for q in self.neighbors:
+            holds_fork = self.pid < q
+            self.fork[q] = holds_fork
+            self.dirty[q] = holds_fork  # all initial forks are dirty
+            self.token[q] = not holds_fork
+
+    # -- protocol actions ------------------------------------------------------
+
+    @action(guard=lambda self: self.state is DinerState.HUNGRY
+            and any(not self.fork[q] and self.token[q] and q not in self._requested
+                    for q in self.neighbors))
+    def request_missing_forks(self) -> None:
+        """Hungry and missing forks: spend request tokens."""
+        for q in self.neighbors:
+            if not self.fork[q] and self.token[q] and q not in self._requested:
+                self.token[q] = False
+                self._requested[q] = self.sessions_eaten
+                self.send(q, self.name, "req")
+
+    @action(guard=lambda self: self.state is not DinerState.EATING
+            and any(self.token[q] and self.fork[q] and self.dirty[q]
+                    for q in self.neighbors))
+    def yield_dirty_forks(self) -> None:
+        """Honour requests: a dirty fork goes to the requester (cleaned)."""
+        for q in self.neighbors:
+            if self.token[q] and self.fork[q] and self.dirty[q]:
+                self.fork[q] = False
+                self.dirty[q] = False
+                self.send(q, self.name, "fork")
+
+    @receive("req")
+    def on_request(self, msg: Message) -> None:
+        """The edge's request token arrives (we now owe a fork, eventually)."""
+        self.token[msg.sender] = True
+
+    @receive("fork")
+    def on_fork(self, msg: Message) -> None:
+        """The edge's fork arrives — clean only if it answers the *current*
+        hunger.
+
+        A clean fork encodes priority: "the holder requested it for the
+        meal it is about to have".  With the suspicion override we may have
+        eaten (and possibly gotten hungry again) before a requested fork
+        arrives.  Keeping such a stale grant clean would hand us priority
+        over a neighbor that ate less recently — corrupting the hygienic
+        precedence order into cycles (clean-fork deadlock) or stranding a
+        clean fork at a thinking process forever.  So the fork lands clean
+        only while we are still hungry in the same session that requested
+        it; otherwise it lands dirty (yieldable on request).
+        """
+        q = msg.sender
+        fresh = (self.state is DinerState.HUNGRY
+                 and self._requested.get(q) == self.sessions_eaten)
+        self.fork[q] = True
+        self.dirty[q] = not fresh
+        self._requested.pop(q, None)
+
+    @action(guard=lambda self: self.state is DinerState.HUNGRY
+            and all(self.fork[q] or self.suspect(q) for q in self.neighbors))
+    def enter_critical_section(self) -> None:
+        """The ◇WX scheduling rule: fork OR suspicion, for every neighbor."""
+        self._begin_eating()
+
+    @action(guard=lambda self: self.state is DinerState.EXITING)
+    def finish_exiting(self) -> None:
+        """Exiting completes in one step; deferred requests are honoured by
+        :meth:`yield_dirty_forks` as soon as the scheduler reaches it."""
+        self._set_state(DinerState.THINKING)
+
+    # -- shared helpers (also used by the adversarial subclass) -----------------
+
+    def _begin_eating(self) -> None:
+        for q in self.neighbors:
+            if self.fork[q]:
+                self.dirty[q] = True  # eating dirties every held fork
+        self._set_state(DinerState.EATING)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def holds_fork(self, q: ProcessId) -> bool:
+        return self.fork[q]
+
+    def fork_state(self) -> dict[ProcessId, tuple[bool, bool, bool]]:
+        """``q -> (fork, dirty, token)`` snapshot (test aid)."""
+        return {
+            q: (self.fork[q], self.dirty[q], self.token[q])
+            for q in self.neighbors
+        }
+
+
+class WaitFreeEWXDining(DiningInstance):
+    """Factory for one WF-◇WX instance over an arbitrary conflict graph.
+
+    ``suspicion_provider(pid)`` supplies each diner's local suspicion query;
+    pass modules of :class:`~repro.oracles.EventuallyPerfectDetector` for the
+    honest construction, or any other oracle to explore the hierarchy.
+    """
+
+    def __init__(self, instance_id: str, graph: nx.Graph,
+                 suspicion_provider: SuspicionProvider) -> None:
+        super().__init__(instance_id, graph)
+        self.suspicion_provider = suspicion_provider
+
+    def build_diner(self, pid: ProcessId,
+                    neighbors: tuple[ProcessId, ...]) -> EWXDiner:
+        return EWXDiner(
+            self.component_name(), self.instance_id, neighbors,
+            suspect=self.suspicion_provider(pid),
+        )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an inconsistent internal state."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, oracle, or algorithm was configured incoherently."""
+
+
+class CrashedProcessError(SimulationError):
+    """An operation was attempted on behalf of a crashed process."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant monitor (e.g. a paper lemma) was violated.
+
+    The reduction modules install monitors for Lemmas 2-5 and 8-10 of the
+    paper; a violation means either the reduction implementation or the
+    underlying dining black box broke its contract.
+    """
+
+
+class SpecificationViolation(ReproError):
+    """A problem-specification checker found a hard violation in a trace.
+
+    Used for *perpetual* properties (e.g. perpetual weak exclusion, token
+    uniqueness).  *Eventual* properties are reported as data, not raised,
+    because finitely many violations are legal.
+    """

@@ -1,0 +1,120 @@
+"""Shared scaffolding for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import networkx as nx
+
+from repro.analysis.report import Table
+from repro.dining.base import DiningInstance, SuspicionProvider
+from repro.dining.deferred import DeferredExclusionDining
+from repro.dining.manager import ManagerDining
+from repro.dining.wf_ewx import WaitFreeEWXDining
+from repro.oracles import EventuallyPerfectDetector, attach_detectors
+from repro.oracles.base import OracleModule
+from repro.oracles.perfect import PerfectDetector
+from repro.sim.engine import Engine, SimConfig
+from repro.sim.faults import CrashSchedule
+from repro.sim.network import PartialSynchronyDelays
+from repro.types import ProcessId, Time
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome: a verdict, a table, and raw data."""
+
+    exp_id: str
+    title: str
+    ok: bool
+    table: Table
+    notes: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        parts = [f"[{self.exp_id}] {self.title} — {verdict}", "",
+                 self.table.render()]
+        if self.notes:
+            parts += [""] + [f"note: {n}" for n in self.notes]
+        return "\n".join(parts)
+
+
+@dataclass
+class System:
+    """A built simulation: engine plus the box-internal oracle plumbing."""
+
+    engine: Engine
+    pids: list[ProcessId]
+    schedule: CrashSchedule
+    box_modules: dict[ProcessId, OracleModule]
+    provider: SuspicionProvider
+
+
+def build_system(
+    pids: Sequence[ProcessId],
+    seed: int,
+    gst: Time = 150.0,
+    max_time: Time = 3000.0,
+    crash: CrashSchedule | None = None,
+    delta: Time = 1.5,
+    pre_gst_max: Time = 30.0,
+    heartbeat_period: int = 4,
+    initial_timeout: int = 10,
+    oracle: str = "hb",
+) -> System:
+    """Engine + per-process box-internal oracle (``"hb"`` heartbeat ◇P or
+    ``"perfect"`` P substrate) + the suspicion provider dining boxes use."""
+    schedule = crash or CrashSchedule.none()
+    engine = Engine(
+        SimConfig(seed=seed, max_time=max_time),
+        delay_model=PartialSynchronyDelays(gst=gst, delta=delta,
+                                           pre_gst_max=pre_gst_max),
+        crash_schedule=schedule,
+    )
+    for pid in pids:
+        engine.add_process(pid)
+    if oracle == "hb":
+        modules = attach_detectors(
+            engine, list(pids),
+            lambda o, peers: EventuallyPerfectDetector(
+                "boxfd", peers, heartbeat_period=heartbeat_period,
+                initial_timeout=initial_timeout),
+        )
+    elif oracle == "perfect":
+        modules = attach_detectors(
+            engine, list(pids),
+            lambda o, peers: PerfectDetector("boxfd", peers, schedule,
+                                             latency=5.0),
+        )
+    else:
+        raise ValueError(f"unknown oracle kind {oracle!r}")
+
+    def provider(pid: ProcessId):
+        module = modules[pid]
+        return lambda q: module.suspected(q)
+
+    return System(engine=engine, pids=list(pids), schedule=schedule,
+                  box_modules=modules, provider=provider)
+
+
+def wf_box(system: System) -> Callable[[str, nx.Graph], DiningInstance]:
+    """The well-behaved WF-◇WX black box bound to the system's oracle."""
+    return lambda iid, g: WaitFreeEWXDining(iid, g, system.provider)
+
+
+def deferred_box(system: System,
+                 horizon: Time = 150.0) -> Callable[[str, nx.Graph], DiningInstance]:
+    """The adversarial-but-legal WF-◇WX black box (Section 3)."""
+    return lambda iid, g: DeferredExclusionDining(
+        iid, g, system.provider, mistake_horizon=horizon
+    )
+
+
+def manager_box(system: System) -> Callable[[str, nx.Graph], DiningInstance]:
+    """The coordinator-based WF-◇WX black box (migrating manager role)."""
+    return lambda iid, g: ManagerDining(iid, g, system.provider)
+
+
+BOX_BUILDERS = {"wf": wf_box, "deferred": deferred_box, "manager": manager_box}

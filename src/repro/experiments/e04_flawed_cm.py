@@ -1,0 +1,99 @@
+"""E4 — Section 3: the construction of [8] is not universal; ours is.
+
+Three sub-runs over the *same* ordered pair (p monitors correct q):
+
+1. the [8] single-instance construction over the **adversarial** (deferred-
+   exclusion) box — the subject parks in its critical section forever, the
+   box legally keeps admitting the witness, and the extracted detector
+   suspects the correct ``q`` again and again: wrongful suspicions grow
+   with run length (◇P accuracy violated);
+2. the [8] construction over the **well-behaved** box — converges (the
+   construction is not *wrong* on friendly boxes, just not black-box);
+3. **this paper's reduction** over the same adversarial box — converges,
+   with finitely many mistakes independent of run length.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.core.extraction import build_full_extraction
+from repro.core.flawed_cm import FlawedCMPair
+from repro.experiments.common import (
+    ExperimentResult,
+    build_system,
+    deferred_box,
+    wf_box,
+)
+from repro.oracles.properties import false_positive_count, suspicion_series
+from repro.sim.temporal import convergence_time
+
+EXP_ID = "E4"
+TITLE = "Section 3: [8]'s construction fails on a legal box; ours survives"
+
+
+def _run_flawed(seed: int, box_kind: str, max_time: float,
+                horizon: float) -> tuple[int, bool]:
+    """Run the [8] construction; return (wrongful suspicions, converged)."""
+    system = build_system(["p", "q"], seed=seed, gst=100.0, max_time=max_time)
+    box = (deferred_box(system, horizon=horizon) if box_kind == "deferred"
+           else wf_box(system))
+    FlawedCMPair("p", "q", box).attach(system.engine)
+    system.engine.run()
+    trace = system.engine.trace
+    mistakes = false_positive_count(trace, "p", "q", system.schedule,
+                                    detector="flawed")
+    series = suspicion_series(trace, "p", "q", detector="flawed")
+    converged = convergence_time(series, lambda s: not s) is not None
+    return mistakes, converged
+
+
+def _run_ours(seed: int, max_time: float, horizon: float) -> tuple[int, bool]:
+    """Run this paper's reduction over the adversarial box."""
+    system = build_system(["p", "q"], seed=seed, gst=100.0, max_time=max_time)
+    build_full_extraction(system.engine, ["p", "q"],
+                          deferred_box(system, horizon=horizon),
+                          monitors=[("p", "q")])
+    system.engine.run()
+    trace = system.engine.trace
+    mistakes = false_positive_count(trace, "p", "q", system.schedule,
+                                    detector="extracted")
+    series = suspicion_series(trace, "p", "q", detector="extracted")
+    converged = convergence_time(series, lambda s: not s) is not None
+    return mistakes, converged
+
+
+def run(seed: int = 401, short: float = 1500.0, long: float = 3000.0,
+        horizon: float = 150.0) -> ExperimentResult:
+    table = Table(["construction", "box", "run length", "wrongful suspicions",
+                   "eventually trusts q"], title=TITLE)
+
+    f_short, f_short_conv = _run_flawed(seed, "deferred", short, horizon)
+    f_long, f_long_conv = _run_flawed(seed, "deferred", long, horizon)
+    table.add_row(["[8] flawed", "deferred", short, f_short, f_short_conv])
+    table.add_row(["[8] flawed", "deferred", long, f_long, f_long_conv])
+
+    g_mist, g_conv = _run_flawed(seed, "wf", long, horizon)
+    table.add_row(["[8] flawed", "wf", long, g_mist, g_conv])
+
+    o_short, o_short_conv = _run_ours(seed, short, horizon)
+    o_long, o_long_conv = _run_ours(seed, long, horizon)
+    table.add_row(["this paper", "deferred", short, o_short, o_short_conv])
+    table.add_row(["this paper", "deferred", long, o_long, o_long_conv])
+
+    vulnerability_shown = (
+        not f_long_conv               # flawed: still suspecting in the suffix
+        and f_long > f_short          # ... and mistakes grow with run length
+        and f_long >= 10              # ... unboundedly, not incidentally
+    )
+    ours_immune = (
+        o_short_conv and o_long_conv
+        and o_long == o_short         # mistakes finite: independent of length
+    )
+    return ExperimentResult(
+        exp_id=EXP_ID, title=TITLE,
+        ok=vulnerability_shown and ours_immune and g_conv,
+        table=table,
+        notes=["the deferred box is a LEGAL WF-◇WX solution (see "
+               "repro/dining/deferred.py); [8]'s detector violates eventual "
+               "strong accuracy on it, this paper's does not"],
+    )

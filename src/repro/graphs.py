@@ -1,0 +1,121 @@
+"""Conflict-graph constructors for dining instances.
+
+A dining instance is modeled by an undirected conflict graph ``DP = (Π, E)``
+(paper Section 4): vertices are diners, and an edge means the two diners
+share resources and must not eat simultaneously (eventually, under ◇WX).
+
+All constructors return :class:`networkx.Graph` with string node names, so
+graphs double as process-id sets for the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _named(n: int, prefix: str) -> list[str]:
+    if n < 1:
+        raise ConfigurationError(f"need at least one diner, got {n}")
+    return [f"{prefix}{i}" for i in range(n)]
+
+
+def pair_graph(a: str, b: str) -> nx.Graph:
+    """The 2-diner graph used by each reduction instance DXi."""
+    g = nx.Graph()
+    g.add_edge(a, b)
+    return g
+
+
+def ring(n: int, prefix: str = "p") -> nx.Graph:
+    """Dijkstra's original table: ``n`` diners in a cycle (n >= 3)."""
+    if n < 3:
+        raise ConfigurationError("a ring needs at least 3 diners")
+    nodes = _named(n, prefix)
+    g = nx.Graph()
+    g.add_nodes_from(nodes)
+    g.add_edges_from((nodes[i], nodes[(i + 1) % n]) for i in range(n))
+    return g
+
+
+def clique(n: int, prefix: str = "p") -> nx.Graph:
+    """Mutual exclusion: every pair conflicts."""
+    nodes = _named(n, prefix)
+    g = nx.complete_graph(len(nodes))
+    return nx.relabel_nodes(g, dict(enumerate(nodes)))
+
+
+def star(n_leaves: int, hub: str = "hub", prefix: str = "leaf") -> nx.Graph:
+    """One hub conflicting with every leaf (highly asymmetric contention)."""
+    g = nx.Graph()
+    g.add_node(hub)
+    for leaf in _named(n_leaves, prefix):
+        g.add_edge(hub, leaf)
+    return g
+
+
+def path(n: int, prefix: str = "p") -> nx.Graph:
+    """A line of diners (sparse local conflicts)."""
+    nodes = _named(n, prefix)
+    g = nx.Graph()
+    g.add_nodes_from(nodes)
+    g.add_edges_from(zip(nodes, nodes[1:]))
+    return g
+
+
+def grid(rows: int, cols: int, prefix: str = "n") -> nx.Graph:
+    """A rows x cols 4-neighbour grid (the WSN coverage topology)."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid dimensions must be positive")
+    g = nx.Graph()
+    name = lambda r, c: f"{prefix}{r}_{c}"  # noqa: E731
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node(name(r, c), row=r, col=c)
+            if r > 0:
+                g.add_edge(name(r, c), name(r - 1, c))
+            if c > 0:
+                g.add_edge(name(r, c), name(r, c - 1))
+    return g
+
+
+def random_graph(n: int, p: float, rng: np.random.Generator,
+                 prefix: str = "p", connect: bool = True) -> nx.Graph:
+    """Erdős–Rényi conflict graph; optionally stitched to be connected."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"edge probability out of range: {p}")
+    nodes = _named(n, prefix)
+    g = nx.Graph()
+    g.add_nodes_from(nodes)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(nodes[i], nodes[j])
+    if connect and n > 1:
+        comps = [sorted(c) for c in nx.connected_components(g)]
+        for a, b in zip(comps, comps[1:]):
+            g.add_edge(a[0], b[0])
+    return g
+
+
+def neighbors_map(g: nx.Graph) -> dict[str, list[str]]:
+    """Deterministically ordered adjacency map (stable across runs)."""
+    return {v: sorted(g.neighbors(v)) for v in sorted(g.nodes)}
+
+
+def validate_conflict_graph(g: nx.Graph) -> None:
+    """Reject graphs a dining instance cannot use (self-loops, empty)."""
+    if g.number_of_nodes() == 0:
+        raise ConfigurationError("conflict graph has no diners")
+    loops = list(nx.selfloop_edges(g))
+    if loops:
+        raise ConfigurationError(f"conflict graph has self-loops: {loops}")
+
+
+def edge_list(g: nx.Graph) -> list[tuple[str, str]]:
+    """Canonically ordered edges (each as a sorted pair)."""
+    return sorted(tuple(sorted(e)) for e in g.edges)

@@ -1,0 +1,44 @@
+"""Failure detectors (distributed oracles) of the Chandra–Toueg hierarchy.
+
+An *unreliable failure detector* is a distributed oracle queried for
+(possibly incorrect) information about process crashes.  Each process hosts
+a local module outputting a set of currently-suspected processes.  Classes
+are defined by a completeness property (restricting false negatives) and an
+accuracy property (restricting false positives) — paper Section 4.
+
+Implemented here:
+
+* :class:`~repro.oracles.eventually_perfect.EventuallyPerfectDetector` — ◇P,
+  implemented honestly from partial synchrony (heartbeats + adaptive
+  step-count timeouts); makes real mistakes before GST.
+* :class:`~repro.oracles.perfect.PerfectDetector` — P, a *simulated
+  substrate* consulting the fault schedule with bounded latency.
+* :class:`~repro.oracles.trusting.TrustingDetector` — T (Delporte-Gallet et
+  al.): trust, once granted, is revoked only on real crashes.  Simulated
+  substrate (T is not implementable from ◇P-level synchrony).
+* :class:`~repro.oracles.strong.StrongDetector` — S: strong completeness +
+  perpetual weak accuracy (a designated correct process is never suspected).
+* :class:`~repro.oracles.omega.OmegaElector` — Ω derived from any ◇P module.
+
+:mod:`repro.oracles.properties` provides the trace checkers that validate
+each class's completeness/accuracy on recorded runs.
+"""
+
+from repro.oracles.base import OracleModule, attach_detectors
+from repro.oracles.eventually_perfect import EventuallyPerfectDetector
+from repro.oracles.eventually_strong import EventuallyStrongDetector
+from repro.oracles.omega import OmegaElector
+from repro.oracles.perfect import PerfectDetector
+from repro.oracles.strong import StrongDetector
+from repro.oracles.trusting import TrustingDetector
+
+__all__ = [
+    "EventuallyPerfectDetector",
+    "EventuallyStrongDetector",
+    "OmegaElector",
+    "OracleModule",
+    "PerfectDetector",
+    "StrongDetector",
+    "TrustingDetector",
+    "attach_detectors",
+]

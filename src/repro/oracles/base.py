@@ -1,0 +1,104 @@
+"""Oracle module interface and trace plumbing.
+
+Every detector module is a guarded-action :class:`~repro.sim.component.Component`
+so it runs inside its owner's step loop like any other thread.  Output
+changes are recorded as ``"suspect"`` trace rows::
+
+    TraceRecord(time, "suspect", pid=<owner>,
+                data={"target": q, "suspected": bool, "detector": name})
+
+so :mod:`repro.oracles.properties` can verify completeness/accuracy purely
+from the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.types import ProcessId
+
+
+class OracleModule(Component):
+    """A local failure-detector module at one process.
+
+    Subclasses update suspicion exclusively through :meth:`set_suspected`
+    so that every output change lands in the trace.  ``initially_suspect``
+    selects the initial output for each monitored process (the paper's
+    reduction starts with ``suspect_q = true``; heartbeat detectors
+    conventionally start trusting).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        monitored: Iterable[ProcessId],
+        initially_suspect: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.monitored: tuple[ProcessId, ...] = tuple(monitored)
+        if len(set(self.monitored)) != len(self.monitored):
+            raise ConfigurationError("duplicate monitored process ids")
+        self._suspected: dict[ProcessId, bool] = {
+            q: initially_suspect for q in self.monitored
+        }
+        #: Label stamped on ``"suspect"`` trace rows.  Defaults to the
+        #: component name; families of modules that should be checked as one
+        #: logical detector (e.g. every extracted pair module) share a label.
+        self.detector_label = name
+
+    # -- queries (the oracle API processes use) ------------------------------
+
+    def suspects(self) -> frozenset[ProcessId]:
+        """Current suspect list of this module."""
+        return frozenset(q for q, s in self._suspected.items() if s)
+
+    def suspected(self, q: ProcessId) -> bool:
+        """Is ``q`` currently suspected?"""
+        try:
+            return self._suspected[q]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name}: {q!r} is not monitored (monitored={self.monitored})"
+            ) from None
+
+    def trusted(self, q: ProcessId) -> bool:
+        return not self.suspected(q)
+
+    # -- updates ----------------------------------------------------------------
+
+    def set_suspected(self, q: ProcessId, flag: bool) -> None:
+        """Update the output for ``q``, recording the change in the trace."""
+        if self._suspected[q] != bool(flag):
+            self._suspected[q] = bool(flag)
+            self.record("suspect", target=q, suspected=bool(flag),
+                        detector=self.detector_label)
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attached(self) -> None:
+        # Record the initial output so suspicion series have a defined start.
+        for q in self.monitored:
+            self.record("suspect", target=q, suspected=self._suspected[q],
+                        detector=self.detector_label, initial=True)
+
+
+def attach_detectors(
+    engine: Engine,
+    pids: Sequence[ProcessId],
+    factory: Callable[[ProcessId, list[ProcessId]], OracleModule],
+) -> dict[ProcessId, OracleModule]:
+    """Attach one detector module per process, each monitoring all the others.
+
+    ``factory(owner, peers)`` builds the module for ``owner``.  Processes
+    must already exist on the engine.  Returns ``owner -> module``.
+    """
+    modules: dict[ProcessId, OracleModule] = {}
+    for pid in pids:
+        peers = [q for q in pids if q != pid]
+        module = factory(pid, peers)
+        engine.process(pid).add_component(module)
+        modules[pid] = module
+    return modules

@@ -1,0 +1,48 @@
+"""Ω — eventual leader election derived from any ◇P-class module.
+
+Each process's leader estimate is the smallest process id it does not
+currently suspect (itself included).  Once the underlying ◇P converges,
+all correct processes permanently agree on the smallest correct process —
+the Ω specification.  The paper cites stable leader election as one of the
+problems ◇P solves [1]; experiment E8 uses Ω's cousin (rotating
+coordinators) inside Chandra–Toueg consensus.
+"""
+
+from __future__ import annotations
+
+from repro.oracles.base import OracleModule
+from repro.sim.component import Component, action
+from repro.types import ProcessId
+
+
+class OmegaElector(Component):
+    """Leader estimate on top of a local detector module.
+
+    Records a ``"leader"`` trace row on every estimate change so agreement
+    and stability are trace-checkable.
+    """
+
+    def __init__(self, name: str, detector: OracleModule) -> None:
+        super().__init__(name)
+        self.detector = detector
+        self._leader: ProcessId | None = None
+
+    @property
+    def leader(self) -> ProcessId:
+        """Current leader estimate (defined after the first refresh)."""
+        if self._leader is None:
+            return self._compute()
+        return self._leader
+
+    def _compute(self) -> ProcessId:
+        candidates = [self.pid] + [
+            q for q in self.detector.monitored if not self.detector.suspected(q)
+        ]
+        return min(candidates)
+
+    @action(guard=lambda self: True)
+    def refresh(self) -> None:
+        new = self._compute()
+        if new != self._leader:
+            self._leader = new
+            self.record("leader", leader=new)

@@ -1,0 +1,249 @@
+"""Trace checkers for failure-detector completeness and accuracy.
+
+Each checker consumes a run :class:`~repro.sim.trace.Trace` (the ``"suspect"``
+rows emitted by :class:`~repro.oracles.base.OracleModule`) plus the ground
+truth :class:`~repro.sim.faults.CrashSchedule`, and produces a structured
+report.  Eventual properties are verified as converged-suffix queries that
+also return the convergence time, so experiments can show *when* the oracle
+stabilized, not just that it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.faults import CrashSchedule
+from repro.sim.temporal import convergence_time
+from repro.sim.trace import Trace
+from repro.types import ProcessId, Time
+
+
+def suspicion_series(
+    trace: Trace,
+    owner: ProcessId,
+    target: ProcessId,
+    detector: str | None = None,
+) -> list[tuple[Time, bool]]:
+    """Time-ordered ``(time, suspected)`` output of ``owner``'s module about
+    ``target`` (optionally restricted to one named detector)."""
+
+    def match(r) -> bool:
+        if r.get("target") != target:
+            return False
+        return detector is None or r.get("detector") == detector
+
+    return [
+        (r.time, bool(r["suspected"]))
+        for r in trace.records(kind="suspect", pid=owner, where=match)
+    ]
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    """Verdict for one (owner, target) monitoring relation."""
+
+    owner: ProcessId
+    target: ProcessId
+    ok: bool
+    convergence: Optional[Time]
+    detail: str = ""
+
+
+@dataclass
+class OracleReport:
+    """Aggregated verdicts for one oracle property over a run."""
+
+    property_name: str
+    pairs: list[PairVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.pairs)
+
+    @property
+    def convergence(self) -> Optional[Time]:
+        """Latest per-pair convergence time (None when any pair failed)."""
+        if not self.ok or not self.pairs:
+            return None
+        times = [p.convergence for p in self.pairs if p.convergence is not None]
+        return max(times, default=0.0)
+
+    def failures(self) -> list[PairVerdict]:
+        return [p for p in self.pairs if not p.ok]
+
+    def format_table(self) -> str:
+        lines = [f"{self.property_name}: {'OK' if self.ok else 'VIOLATED'}"]
+        for p in self.pairs:
+            conv = f"@{p.convergence:.1f}" if p.convergence is not None else "never"
+            status = "ok " if p.ok else "FAIL"
+            extra = f"  ({p.detail})" if p.detail else ""
+            lines.append(f"  {status} {p.owner} monitors {p.target}: {conv}{extra}")
+        return "\n".join(lines)
+
+
+def check_strong_completeness(
+    trace: Trace,
+    owners: Iterable[ProcessId],
+    targets: Iterable[ProcessId],
+    schedule: CrashSchedule,
+    detector: str | None = None,
+) -> OracleReport:
+    """Every crashed target is eventually permanently suspected by every
+    correct owner (paper: Strong Completeness)."""
+    report = OracleReport("strong completeness")
+    owners = [o for o in owners if not schedule.is_faulty(o)]
+    for owner in owners:
+        for target in targets:
+            if target == owner:
+                continue
+            ct = schedule.crash_time(target)
+            if ct is None:
+                continue  # completeness constrains only crashed targets
+            series = suspicion_series(trace, owner, target, detector)
+            conv = convergence_time(series, lambda s: s)
+            ok = conv is not None
+            detail = "" if ok else "not permanently suspected"
+            if ok and conv < ct:
+                # Converged before the crash: legal (completeness does not
+                # restrict false positives) but worth surfacing.
+                detail = f"suspected since {conv:.1f}, before crash at {ct:.1f}"
+            report.pairs.append(PairVerdict(owner, target, ok, conv, detail))
+    return report
+
+
+def check_eventual_strong_accuracy(
+    trace: Trace,
+    owners: Iterable[ProcessId],
+    targets: Iterable[ProcessId],
+    schedule: CrashSchedule,
+    detector: str | None = None,
+) -> OracleReport:
+    """Eventually no correct owner suspects any correct target
+    (paper: Eventual Strong Accuracy)."""
+    report = OracleReport("eventual strong accuracy")
+    owners = [o for o in owners if not schedule.is_faulty(o)]
+    for owner in owners:
+        for target in targets:
+            if target == owner or schedule.is_faulty(target):
+                continue
+            series = suspicion_series(trace, owner, target, detector)
+            conv = convergence_time(series, lambda s: not s)
+            ok = conv is not None
+            mistakes = false_positive_count(trace, owner, target, schedule, detector)
+            report.pairs.append(
+                PairVerdict(owner, target, ok, conv, f"{mistakes} mistakes")
+            )
+    return report
+
+
+def check_perpetual_strong_accuracy(
+    trace: Trace,
+    owners: Iterable[ProcessId],
+    targets: Iterable[ProcessId],
+    schedule: CrashSchedule,
+    detector: str | None = None,
+) -> OracleReport:
+    """No target is ever suspected before it crashes (the P accuracy)."""
+    report = OracleReport("perpetual strong accuracy")
+    owners = [o for o in owners if not schedule.is_faulty(o)]
+    for owner in owners:
+        for target in targets:
+            if target == owner:
+                continue
+            mistakes = false_positive_count(trace, owner, target, schedule, detector)
+            ok = mistakes == 0
+            report.pairs.append(
+                PairVerdict(owner, target, ok, 0.0 if ok else None,
+                            "" if ok else f"{mistakes} premature suspicions")
+            )
+    return report
+
+
+def check_trusting_accuracy(
+    trace: Trace,
+    owners: Iterable[ProcessId],
+    targets: Iterable[ProcessId],
+    schedule: CrashSchedule,
+    detector: str | None = None,
+) -> OracleReport:
+    """The T accuracy (paper Section 9): (a) every correct target eventually
+    permanently trusted; (b) any trust revocation implies a real crash."""
+    report = OracleReport("trusting accuracy")
+    owners = [o for o in owners if not schedule.is_faulty(o)]
+    for owner in owners:
+        for target in targets:
+            if target == owner:
+                continue
+            series = suspicion_series(trace, owner, target, detector)
+            ok = True
+            conv: Optional[Time] = None
+            detail = ""
+            if not schedule.is_faulty(target):
+                conv = convergence_time(series, lambda s: not s)
+                if conv is None:
+                    ok, detail = False, "correct target not permanently trusted"
+            # (b): scan for trusted -> suspected transitions.
+            prev = True  # T starts suspecting (never trusted yet)
+            for t, s in series:
+                if s and not prev:  # trust revoked at time t
+                    ct = schedule.crash_time(target)
+                    if ct is None or t < ct:
+                        ok = False
+                        detail = f"trust of live {target} revoked at {t:.1f}"
+                        break
+                prev = s
+            report.pairs.append(PairVerdict(owner, target, ok, conv, detail))
+    return report
+
+
+def check_perpetual_weak_accuracy(
+    trace: Trace,
+    owners: Sequence[ProcessId],
+    targets: Sequence[ProcessId],
+    schedule: CrashSchedule,
+    detector: str | None = None,
+) -> tuple[bool, Optional[ProcessId]]:
+    """The S accuracy: some correct target is never suspected by any owner.
+
+    Returns ``(ok, witness_target)``.
+    """
+    live_owners = [o for o in owners if not schedule.is_faulty(o)]
+    for target in targets:
+        if schedule.is_faulty(target):
+            continue
+        if all(
+            not any(s for _, s in suspicion_series(trace, o, target, detector))
+            for o in live_owners
+            if o != target
+        ):
+            return True, target
+    return False, None
+
+
+def false_positive_count(
+    trace: Trace,
+    owner: ProcessId,
+    target: ProcessId,
+    schedule: CrashSchedule,
+    detector: str | None = None,
+) -> int:
+    """Number of suspicion onsets while ``target`` was still live.
+
+    Counts transitions to ``suspected=True`` occurring strictly before the
+    target's crash (or ever, for a correct target) — the oracle's "mistakes"
+    in the paper's sense, which ◇P must keep finite.
+    """
+    series = suspicion_series(trace, owner, target, detector)
+    ct = schedule.crash_time(target)
+    count = 0
+    prev = None
+    for t, s in series:
+        if s and prev is False and (ct is None or t < ct):
+            count += 1
+        prev = s
+    # An initial 'suspected' sample also counts as a (wrongful) onset when
+    # the target had not crashed at time zero.
+    if series and series[0][1] and (ct is None or series[0][0] < ct):
+        count += 1
+    return count

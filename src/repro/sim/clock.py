@@ -1,0 +1,45 @@
+"""The simulator's discrete global clock.
+
+Per the paper (Section 4): *"we posit a discrete global clock T whose range
+of clock ticks is the set of natural numbers. T is merely a conceptual
+device and inaccessible to processes in the system."*
+
+Algorithm components therefore never hold a :class:`Clock`; only the engine,
+delay models, fault injectors, and trace checkers read it.  (Client drivers
+that model *environment* behaviour — e.g. "think for a while, then get
+hungry" — may read it, because the environment is not part of the algorithm.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.types import Time
+
+
+class Clock:
+    """Monotonically non-decreasing virtual time."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: Time = 0.0) -> None:
+        self._now: Time = float(start)
+
+    @property
+    def now(self) -> Time:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, t: Time) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises :class:`SimulationError` on an attempt to move backwards,
+        which would indicate a corrupted event queue.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {t} < {self._now}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Clock(now={self._now:.3f})"

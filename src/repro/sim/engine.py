@@ -1,0 +1,233 @@
+"""The discrete-event simulation engine.
+
+The engine owns the global clock, the event queue, the network, the trace,
+and the process table.  Three event kinds drive a run:
+
+* ``step``    — a process executes one atomic guarded-action step, then its
+  next step is scheduled after a random per-process delay (asynchrony:
+  relative process speeds are unbounded across processes but every correct
+  process keeps taking steps — the paper's liveness assumption);
+* ``deliver`` — a message reaches its destination's inbox;
+* ``crash``   — a process ceases execution permanently;
+* ``call``    — an experiment-driver callback (environment only).
+
+Typical usage::
+
+    cfg = SimConfig(seed=7, max_time=2_000)
+    eng = Engine(cfg, delay_model=AsynchronousDelays(),
+                 crash_schedule=CrashSchedule.single("q", at=300.0))
+    p = eng.add_process("p"); q = eng.add_process("q")
+    ... attach components ...
+    eng.run()          # to cfg.max_time
+    eng.trace          # inspect
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.clock import Clock
+from repro.sim.faults import CrashSchedule
+from repro.sim.network import AsynchronousDelays, DelayModel, Network
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import StepPolicy
+from repro.sim.trace import Trace
+from repro.types import Message, ProcessId, Time
+
+
+@dataclass
+class SimConfig:
+    """Knobs for a simulation run.
+
+    ``step_min``/``step_max`` bound the delay between consecutive steps of a
+    process, scaled by that process's ``speeds`` factor (default 1.0).
+    Unequal speed factors model unbounded *relative* process speeds.
+    """
+
+    seed: int = 0
+    max_time: Time = 10_000.0
+    step_min: Time = 0.4
+    step_max: Time = 1.2
+    record_messages: bool = False
+    speeds: Mapping[ProcessId, float] = field(default_factory=dict)
+    #: Optional step-scheduling policy; overrides step_min/step_max when set
+    #: (the per-process ``speeds`` factor still applies on top).
+    step_policy: Optional[StepPolicy] = None
+    #: Hard cap on processed events, as a runaway guard.
+    max_events: int = 50_000_000
+
+
+class Engine:
+    """Event loop for one simulated run."""
+
+    def __init__(
+        self,
+        config: SimConfig | None = None,
+        delay_model: DelayModel | None = None,
+        crash_schedule: CrashSchedule | None = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.clock = Clock()
+        self.rng = RngRegistry(self.config.seed)
+        self.trace = Trace()
+        self.trace.bind_clock(lambda: self.clock.now)
+        self.network = Network(delay_model or AsynchronousDelays())
+        self.network.bind(self)
+        self.crash_schedule = crash_schedule or CrashSchedule.none()
+        self.processes: dict[ProcessId, Process] = {}
+        self._heap: list[tuple[Time, int, str, object]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+        self._stopped = False
+
+    # -- construction ---------------------------------------------------------
+
+    def add_process(self, pid: ProcessId) -> Process:
+        """Create and register a process; its step loop starts immediately."""
+        if pid in self.processes:
+            raise ConfigurationError(f"duplicate process id {pid!r}")
+        proc = Process(pid)
+        proc.bind(self)
+        self.processes[pid] = proc
+        jitter = float(self.rng.stream(f"step:{pid}").uniform(0.0, self.config.step_max))
+        self._push(self.clock.now + jitter, "step", pid)
+        crash_at = self.crash_schedule.crash_time(pid)
+        if crash_at is not None:
+            self._push(crash_at, "crash", pid)
+        return proc
+
+    def process(self, pid: ProcessId) -> Process:
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise ConfigurationError(f"unknown process {pid!r}") from None
+
+    # -- scheduling (engine/network internal + experiment drivers) ---------------
+
+    def schedule_delivery(self, msg: Message, at: Time) -> None:
+        self._push(at, "deliver", msg)
+
+    def schedule_call(self, at: Time, fn: Callable[[], None]) -> None:
+        """Run an environment callback at virtual time ``at``."""
+        self._push(at, "call", fn)
+
+    def inject_crash(self, pid: ProcessId, at: Time | None = None) -> None:
+        """Crash ``pid`` at time ``at`` (default: now).
+
+        For dynamically-determined faults (e.g. energy depletion in the WSN
+        application) that cannot be declared in the upfront
+        :class:`~repro.sim.faults.CrashSchedule`.  Ground truth for trace
+        checkers is then ``trace.crash_times()``.
+        """
+        self._push(self.clock.now if at is None else at, "crash", pid)
+
+    def stop(self) -> None:
+        """Halt the run after the current event."""
+        self._stopped = True
+
+    # -- running ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Time | None = None,
+        stop_when: Callable[[], bool] | None = None,
+        check_every_events: int = 64,
+    ) -> Trace:
+        """Process events until ``until`` (default ``config.max_time``).
+
+        ``stop_when`` is polled every ``check_every_events`` processed events
+        and ends the run early when it returns True.
+        """
+        horizon = self.config.max_time if until is None else float(until)
+        self._stopped = False
+        since_check = 0
+        while self._heap and not self._stopped:
+            t, _, kind, payload = self._heap[0]
+            if t > horizon:
+                break
+            heapq.heappop(self._heap)
+            self.clock.advance_to(t)
+            self._dispatch(kind, payload)
+            self.events_processed += 1
+            if self.events_processed >= self.config.max_events:
+                raise SimulationError(
+                    f"event cap exceeded ({self.config.max_events}); "
+                    "runaway simulation?"
+                )
+            since_check += 1
+            if stop_when is not None and since_check >= check_every_events:
+                since_check = 0
+                if stop_when():
+                    break
+        # Land the clock on the horizon so back-to-back run() calls resume
+        # cleanly and open state intervals close at the right time.
+        if not self._stopped and (stop_when is None) and horizon >= self.clock.now:
+            self.clock.advance_to(horizon)
+        return self.trace
+
+    # -- queries --------------------------------------------------------------------
+
+    def live_pids(self) -> list[ProcessId]:
+        return [pid for pid, p in self.processes.items() if not p.crashed]
+
+    @property
+    def now(self) -> Time:
+        return self.clock.now
+
+    # -- internals --------------------------------------------------------------------
+
+    def _push(self, t: Time, kind: str, payload: object) -> None:
+        heapq.heappush(self._heap, (t, next(self._seq), kind, payload))
+
+    def _dispatch(self, kind: str, payload: object) -> None:
+        if kind == "step":
+            self._do_step(payload)  # type: ignore[arg-type]
+        elif kind == "deliver":
+            self._do_deliver(payload)  # type: ignore[arg-type]
+        elif kind == "crash":
+            self._do_crash(payload)  # type: ignore[arg-type]
+        elif kind == "call":
+            payload()  # type: ignore[operator]
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {kind!r}")
+
+    def _do_step(self, pid: ProcessId) -> None:
+        proc = self.processes[pid]
+        if proc.crashed:
+            return
+        proc.step()
+        speed = float(self.config.speeds.get(pid, 1.0))
+        rng = self.rng.stream(f"step:{pid}")
+        if self.config.step_policy is not None:
+            delay = self.config.step_policy.next_delay(pid, self.clock.now,
+                                                       rng)
+        else:
+            delay = float(
+                rng.uniform(self.config.step_min, self.config.step_max)
+            )
+        self._push(self.clock.now + delay * speed, "step", pid)
+
+    def _do_deliver(self, msg: Message) -> None:
+        proc = self.processes.get(msg.receiver)
+        if proc is None:
+            raise SimulationError(f"message to unknown process {msg.receiver!r}")
+        if proc.crashed:
+            return
+        proc.deliver(msg)
+        self.network.note_delivered(msg)
+        if self.config.record_messages:
+            self.trace.record(
+                "deliver", pid=msg.receiver, frm=msg.sender, tag=msg.tag,
+                msg_kind=msg.kind, uid=msg.uid,
+            )
+
+    def _do_crash(self, pid: ProcessId) -> None:
+        proc = self.processes[pid]
+        if not proc.crashed:
+            proc.crash(self.clock.now)
+            self.trace.record("crash", pid=pid)

@@ -1,0 +1,63 @@
+"""Run metrics: message, step, and event accounting.
+
+A :class:`RunMetrics` snapshot summarizes the cost of a run; experiment
+E12 (reduction overhead) is built on these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Immutable cost summary of a simulation run."""
+
+    virtual_time: float
+    events_processed: int
+    messages_sent: int
+    messages_delivered: int
+    messages_by_kind: Mapping[str, int]
+    steps_by_process: Mapping[str, int]
+
+    @property
+    def total_steps(self) -> int:
+        return sum(self.steps_by_process.values())
+
+    def messages_per_time(self) -> float:
+        """Average message rate over virtual time (0 for an empty run)."""
+        if self.virtual_time <= 0:
+            return 0.0
+        return self.messages_sent / self.virtual_time
+
+    def format_table(self) -> str:
+        """Human-readable one-block summary."""
+        lines = [
+            f"virtual time        : {self.virtual_time:.1f}",
+            f"events processed    : {self.events_processed}",
+            f"messages sent       : {self.messages_sent}",
+            f"messages delivered  : {self.messages_delivered}",
+            f"total process steps : {self.total_steps}",
+            "messages by kind    :",
+        ]
+        for kind, n in sorted(self.messages_by_kind.items()):
+            lines.append(f"  {kind:<18}: {n}")
+        return "\n".join(lines)
+
+
+def collect_metrics(engine: "Engine") -> RunMetrics:
+    """Snapshot the cost counters of ``engine``."""
+    return RunMetrics(
+        virtual_time=engine.clock.now,
+        events_processed=engine.events_processed,
+        messages_sent=engine.network.sent,
+        messages_delivered=engine.network.delivered,
+        messages_by_kind=dict(engine.network.sent_by_kind),
+        steps_by_process={
+            pid: proc.steps_taken for pid, proc in engine.processes.items()
+        },
+    )

@@ -1,0 +1,149 @@
+"""Reliable, non-FIFO message channels with pluggable delay models.
+
+Channel semantics follow the paper's Section 4 exactly:
+
+* **Reliable** — every message sent to a correct process is eventually
+  delivered; messages are neither lost, duplicated, nor corrupted.
+* **Non-FIFO** — each message gets an independent random delay, so later
+  messages can overtake earlier ones.
+
+Delay models encode the synchrony assumptions:
+
+* :class:`AsynchronousDelays` — unbounded (heavy-tailed) delays; the pure
+  asynchronous model in which the reduction algorithm must work.
+* :class:`PartialSynchronyDelays` — arbitrary delays before an (unknown)
+  global stabilization time ``gst``, bounded by ``delta`` afterwards; the
+  model in which a *native* eventually-perfect detector is implementable
+  (used only by :mod:`repro.oracles.eventually_perfect`).
+* :class:`FixedDelays` — constant delay; useful in unit tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.types import Message, ProcessId, Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class DelayModel(abc.ABC):
+    """Maps each sent message to a strictly positive delivery delay."""
+
+    @abc.abstractmethod
+    def delay(self, msg: Message, now: Time, rng: np.random.Generator) -> Time:
+        """Return the channel delay for ``msg`` sent at time ``now``."""
+
+
+class FixedDelays(DelayModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: Time = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        self._delay = float(delay)
+
+    def delay(self, msg: Message, now: Time, rng: np.random.Generator) -> Time:
+        return self._delay
+
+
+class AsynchronousDelays(DelayModel):
+    """Unbounded delays: lognormal body with occasional heavy stragglers.
+
+    ``straggler_prob`` of messages take an extra uniform(0, straggler_max)
+    delay, modelling arbitrarily slow channels.  All delays are finite
+    (reliability), but no bound is promised to the algorithms.
+    """
+
+    def __init__(
+        self,
+        mean: Time = 1.0,
+        sigma: float = 0.5,
+        straggler_prob: float = 0.05,
+        straggler_max: Time = 25.0,
+    ) -> None:
+        self.mean = float(mean)
+        self.sigma = float(sigma)
+        self.straggler_prob = float(straggler_prob)
+        self.straggler_max = float(straggler_max)
+
+    def delay(self, msg: Message, now: Time, rng: np.random.Generator) -> Time:
+        d = float(rng.lognormal(mean=np.log(self.mean), sigma=self.sigma))
+        if rng.random() < self.straggler_prob:
+            d += float(rng.uniform(0.0, self.straggler_max))
+        return max(d, 1e-9)
+
+
+class PartialSynchronyDelays(DelayModel):
+    """GST-style partial synchrony (Dwork-Lynch-Stockmeyer / Chandra-Toueg).
+
+    Before the (algorithm-unknown) global stabilization time ``gst``,
+    delays are chaotic: uniform in ``(0, pre_gst_max]``.  From ``gst`` on,
+    every delay is at most ``delta``.
+    """
+
+    def __init__(self, gst: Time, delta: Time = 1.0, pre_gst_max: Time = 30.0) -> None:
+        if delta <= 0 or pre_gst_max <= 0:
+            raise ValueError("delta and pre_gst_max must be positive")
+        self.gst = float(gst)
+        self.delta = float(delta)
+        self.pre_gst_max = float(pre_gst_max)
+
+    def delay(self, msg: Message, now: Time, rng: np.random.Generator) -> Time:
+        if now >= self.gst:
+            return float(rng.uniform(0.1 * self.delta, self.delta))
+        # Chaotic period: the draw may be long, but every message sent
+        # before GST is delivered by gst + delta, so that post-GST the
+        # channel bound delta holds for all in-flight traffic (standard
+        # GST semantics, needed for heartbeat timeouts to converge).
+        deliver_at = now + float(rng.uniform(1e-9, self.pre_gst_max))
+        cap = self.gst + float(rng.uniform(0.1 * self.delta, self.delta))
+        return max(min(deliver_at, cap) - now, 1e-9)
+
+
+class Network:
+    """Routes messages between processes through the engine's event queue."""
+
+    def __init__(self, delay_model: DelayModel) -> None:
+        self.delay_model = delay_model
+        self._engine: "Engine | None" = None
+        self.sent = 0
+        self.delivered = 0
+        self.sent_by_kind: dict[str, int] = {}
+        #: Optional hook (msg -> None) observed on every send; used by
+        #: tests and metrics, never by algorithms.
+        self.on_send: Optional[Callable[[Message], None]] = None
+
+    def bind(self, engine: "Engine") -> None:
+        self._engine = engine
+
+    def send(self, msg: Message) -> None:
+        """Accept ``msg`` for delayed, reliable, non-FIFO delivery."""
+        engine = self._engine
+        assert engine is not None, "network not bound to an engine"
+        self.sent += 1
+        self.sent_by_kind[msg.kind] = self.sent_by_kind.get(msg.kind, 0) + 1
+        if self.on_send is not None:
+            self.on_send(msg)
+        if engine.config.record_messages:
+            engine.trace.record(
+                "send", pid=msg.sender, to=msg.receiver, tag=msg.tag,
+                msg_kind=msg.kind, uid=msg.uid,
+            )
+        d = self.delay_model.delay(msg, engine.clock.now, engine.rng.stream("network"))
+        engine.schedule_delivery(msg, engine.clock.now + d)
+
+    def note_delivered(self, msg: Message) -> None:
+        self.delivered += 1
+
+
+def mean_delay_estimate(model: DelayModel, now: Time, samples: int = 256,
+                        seed: int = 0) -> float:
+    """Monte-Carlo estimate of a model's mean delay at time ``now`` (test aid)."""
+    rng = np.random.default_rng(seed)
+    probe = Message(sender="a", receiver="b", tag="t", kind="probe")
+    return float(np.mean([model.delay(probe, now, rng) for _ in range(samples)]))

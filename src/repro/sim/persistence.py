@@ -1,0 +1,77 @@
+"""Trace persistence: save runs as JSON-lines, reload, re-check.
+
+Because every checker in the library operates purely on
+:class:`~repro.sim.trace.Trace` rows (never on live simulator state), a
+saved trace can be re-verified offline — useful for archiving experiment
+evidence, bisecting regressions, and sharing counterexample runs.
+
+Format: one JSON object per line, ``{"t": time, "k": kind, "p": pid,
+"d": data}``, preceded by a header line with schema version and metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace, TraceRecord
+
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_trace(trace: Trace, path: PathLike,
+               metadata: Mapping[str, Any] | None = None) -> int:
+    """Write ``trace`` to ``path`` (JSONL).  Returns the record count."""
+    p = pathlib.Path(path)
+    header = {
+        "schema": SCHEMA_VERSION,
+        "records": len(trace),
+        "metadata": dict(metadata or {}),
+    }
+    with p.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for rec in trace:
+            fh.write(json.dumps(
+                {"t": rec.time, "k": rec.kind, "p": rec.pid,
+                 "d": dict(rec.data)},
+                separators=(",", ":"),
+            ) + "\n")
+    return len(trace)
+
+
+def load_trace(path: PathLike) -> tuple[Trace, dict[str, Any]]:
+    """Read a trace saved by :func:`save_trace`.
+
+    Returns ``(trace, metadata)``.  The loaded trace is read-only in
+    spirit: it has no bound clock, so appending to it records at t=0.
+    """
+    p = pathlib.Path(path)
+    trace = Trace()
+    with p.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ConfigurationError(f"{p}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("schema") != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"{p}: unsupported trace schema {header.get('schema')!r}"
+            )
+        expected = header.get("records")
+        count = 0
+        for line in fh:
+            row = json.loads(line)
+            trace._records.append(TraceRecord(
+                time=float(row["t"]), kind=row["k"], pid=row["p"],
+                data=row["d"],
+            ))
+            count += 1
+        if expected is not None and count != expected:
+            raise ConfigurationError(
+                f"{p}: truncated trace: header promises {expected} records, "
+                f"found {count}"
+            )
+    return trace, dict(header.get("metadata", {}))

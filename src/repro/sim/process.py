@@ -1,0 +1,152 @@
+"""Processes: containers of guarded-action components.
+
+A process executes the union of its components' actions under interleaving
+semantics.  In each atomic step it executes at most one enabled action,
+consuming at most one delivered message — exactly the step model of the
+paper's Section 4.
+
+Scheduling within a process is round-robin over the action list: the scan
+for an enabled action starts just after the last action executed, so every
+continuously-enabled action of a correct process is executed infinitely
+often (weak fairness).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import ConfigurationError, CrashedProcessError, SimulationError
+from repro.sim.component import BoundAction, Component
+from repro.types import Message, ProcessId, Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Process:
+    """A single (possibly faulty) process of the system Π."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.crashed = False
+        self.crash_time: Optional[Time] = None
+        self._components: dict[str, Component] = {}
+        self._actions: list[BoundAction] = []
+        self._rotation = 0
+        self._inbox: list[Message] = []
+        self._engine: "Engine | None" = None
+        self.steps_taken = 0
+
+    # -- construction -------------------------------------------------------
+
+    def add_component(self, component: Component) -> Component:
+        """Attach ``component``; its actions join this process's action set."""
+        if component.name in self._components:
+            raise ConfigurationError(
+                f"process {self.pid}: duplicate component {component.name!r}"
+            )
+        component.process = self
+        self._components[component.name] = component
+        self._actions.extend(component.bound_actions())
+        component.attached()
+        return component
+
+    def component(self, name: str) -> Component:
+        """Look up an attached component by name."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"process {self.pid}: no component named {name!r}"
+            ) from None
+
+    def components(self) -> list[Component]:
+        return list(self._components.values())
+
+    def bind(self, engine: "Engine") -> None:
+        if self._engine is not None and self._engine is not engine:
+            raise ConfigurationError(f"process {self.pid} already bound")
+        self._engine = engine
+
+    # -- facilities used by components ---------------------------------------
+
+    def send(self, msg: Message) -> None:
+        if self.crashed:
+            raise CrashedProcessError(f"crashed process {self.pid} cannot send")
+        self._require_engine().network.send(msg)
+
+    def record(self, kind: str, **data: Any) -> None:
+        self._require_engine().trace.record(kind, pid=self.pid, **data)
+
+    def env_now(self) -> Time:
+        """Environment-only access to the global clock.
+
+        The paper's clock is inaccessible to algorithm code.  Only
+        *environment* components (client drivers, workload models) may call
+        this; algorithm components must not.
+        """
+        return self._require_engine().clock.now
+
+    # -- engine-facing API ----------------------------------------------------
+
+    def deliver(self, msg: Message) -> None:
+        """Buffer a delivered message (dropped silently if crashed)."""
+        if not self.crashed:
+            self._inbox.append(msg)
+
+    def crash(self, at: Time) -> None:
+        """Cease execution permanently (crash fault)."""
+        self.crashed = True
+        self.crash_time = at
+
+    def inbox_size(self) -> int:
+        return len(self._inbox)
+
+    def step(self) -> Optional[str]:
+        """Execute one enabled action; return its qualified name (or None).
+
+        At most one message is consumed.  The rotation pointer advances past
+        the executed action so no continuously-enabled action starves.
+        """
+        if self.crashed:
+            raise CrashedProcessError(f"crashed process {self.pid} cannot step")
+        self.steps_taken += 1
+        n = len(self._actions)
+        if n == 0:
+            return None
+        for offset in range(n):
+            idx = (self._rotation + offset) % n
+            act = self._actions[idx]
+            fired = self._try_fire(act)
+            if fired:
+                self._rotation = (idx + 1) % n
+                return act.qualified_name()
+        return None
+
+    # -- internals --------------------------------------------------------------
+
+    def _try_fire(self, act: BoundAction) -> bool:
+        if act.kind == "internal":
+            if act.guard is not None and not act.guard(act.component):
+                return False
+            act.effect()
+            return True
+        # receive action: find the earliest-buffered matching message
+        for i, msg in enumerate(self._inbox):
+            if not msg.matches(act.component.name, act.message_kind):
+                continue
+            if act.guard is not None and not act.guard(act.component, msg):
+                continue
+            del self._inbox[i]
+            act.effect(msg)
+            return True
+        return False
+
+    def _require_engine(self) -> "Engine":
+        if self._engine is None:
+            raise SimulationError(f"process {self.pid} is not bound to an engine")
+        return self._engine
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "crashed" if self.crashed else "live"
+        return f"Process({self.pid!r}, {status}, components={sorted(self._components)})"

@@ -1,0 +1,74 @@
+"""A shared-memory substrate: atomic registers with read/write/CAS.
+
+The paper's footnote 1 notes its results transfer to shared-memory
+systems, and the contention-manager discussion (Sections 2–3) is set in
+shared memory.  This module provides that substrate: a
+:class:`SharedMemory` is a bank of named atomic registers accessible from
+any component.
+
+**Atomicity model.**  The engine executes one guarded action at a time
+(interleaving semantics), so a register operation performed inside an
+action is atomic by construction — exactly the standard "one shared-memory
+operation per atomic step" model.  Algorithms that care about the
+one-op-per-step discipline must structure their actions accordingly (the
+DSTM implementation in :mod:`repro.apps.dstm` does); the substrate itself
+enforces only atomicity, not the op-per-step budget.
+
+Crash semantics: a crashed process simply stops taking steps; values it
+wrote remain visible (shared memory is not wiped by crashes) — which is
+precisely why obstruction-free designs avoid locks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+Register = Hashable
+
+
+class SharedMemory:
+    """A bank of named atomic registers.
+
+    Register names are arbitrary hashable keys (tuples like
+    ``("orec", "x")`` read well).  Unwritten registers read as ``default``.
+    """
+
+    def __init__(self) -> None:
+        self._regs: dict[Register, Any] = {}
+        self.reads = 0
+        self.writes = 0
+        self.cas_attempts = 0
+        self.cas_successes = 0
+
+    def read(self, name: Register, default: Any = None) -> Any:
+        """Atomic read."""
+        self.reads += 1
+        return self._regs.get(name, default)
+
+    def write(self, name: Register, value: Any) -> None:
+        """Atomic write."""
+        self.writes += 1
+        self._regs[name] = value
+
+    def cas(self, name: Register, expected: Any, new: Any,
+            default: Any = None) -> bool:
+        """Atomic compare-and-swap; True iff the swap happened."""
+        self.cas_attempts += 1
+        current = self._regs.get(name, default)
+        if current == expected:
+            self._regs[name] = new
+            self.cas_successes += 1
+            return True
+        return False
+
+    def snapshot(self) -> dict[Register, Any]:
+        """Copy of all registers (checker/diagnostic use only)."""
+        return dict(self._regs)
+
+    def op_counts(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "cas_attempts": self.cas_attempts,
+            "cas_successes": self.cas_successes,
+        }

@@ -1,0 +1,118 @@
+"""Temporal-logic style operators over finite time series.
+
+Eventual properties ("there exists a time after which ...") are checked on
+finite traces as *holds-in-suffix* queries that also report the convergence
+point, so experiments can record both the verdict and when stabilization
+happened.  A series is a time-ordered list of ``(time, value)`` samples; the
+value is assumed to persist until the next sample (step function).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, TypeVar
+
+from repro.types import Time
+
+T = TypeVar("T")
+Series = Sequence[tuple[Time, T]]
+
+
+def value_at(series: Series, t: Time, default: Any = None) -> Any:
+    """Step-function evaluation of ``series`` at time ``t``."""
+    out = default
+    for ts, v in series:
+        if ts > t:
+            break
+        out = v
+    return out
+
+
+def holds_at_end(series: Series, pred: Callable[[T], bool],
+                 default: Any = None) -> bool:
+    """Does ``pred`` hold for the final (persisting) value?"""
+    if not series:
+        return pred(default) if default is not None else False
+    return pred(series[-1][1])
+
+
+def convergence_time(
+    series: Series,
+    pred: Callable[[T], bool],
+    initial: Any = None,
+) -> Optional[Time]:
+    """Earliest time after which ``pred(value)`` holds for the rest of the series.
+
+    Returns the start of the final maximal suffix in which every sample (and
+    the persisting final value) satisfies ``pred``; ``None`` if the final
+    value itself violates ``pred`` or the series is empty and ``initial``
+    violates it.  A result of ``0.0`` means the predicate held throughout.
+    """
+    samples = list(series)
+    if initial is not None:
+        samples = [(0.0, initial)] + samples
+    if not samples:
+        return None
+    conv: Optional[Time] = None
+    for ts, v in samples:
+        if pred(v):
+            if conv is None:
+                conv = ts
+        else:
+            conv = None
+    return conv
+
+
+def eventually_always(series: Series, pred: Callable[[T], bool],
+                      initial: Any = None) -> bool:
+    """◇□ pred over the finite series (True iff a converging suffix exists)."""
+    return convergence_time(series, pred, initial=initial) is not None
+
+
+def always(series: Series, pred: Callable[[T], bool], initial: Any = None) -> bool:
+    """□ pred over the finite series."""
+    samples = list(series)
+    if initial is not None:
+        samples = [(0.0, initial)] + samples
+    return all(pred(v) for _, v in samples)
+
+
+def count_violations(series: Series, pred: Callable[[T], bool]) -> int:
+    """Number of samples violating ``pred`` (finite-mistakes measurements)."""
+    return sum(1 for _, v in series if not pred(v))
+
+
+def change_times(series: Series) -> list[Time]:
+    """Times at which the sampled value actually changed."""
+    out: list[Time] = []
+    prev: Any = object()
+    for ts, v in series:
+        if v != prev:
+            out.append(ts)
+            prev = v
+    return out
+
+
+def stable_suffix_start(series: Series) -> Optional[Time]:
+    """Time from which the value never changes again (None for empty series)."""
+    times = change_times(series)
+    return times[-1] if times else None
+
+
+def leads_to(
+    triggers: Sequence[Time],
+    responses: Sequence[Time],
+    within: Optional[Time] = None,
+) -> bool:
+    """Every trigger is followed by some response (optionally within a bound).
+
+    Implements the ``P leads-to Q`` progress pattern used by wait-freedom
+    checks: for each trigger time there must exist a strictly later response.
+    """
+    responses = sorted(responses)
+    for t in triggers:
+        later = [r for r in responses if r > t]
+        if not later:
+            return False
+        if within is not None and later[0] - t > within:
+            return False
+    return True

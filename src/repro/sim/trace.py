@@ -1,0 +1,157 @@
+"""Structured run traces and queries over them.
+
+Everything observable about a run — diner state transitions, oracle output
+changes, crashes, optionally every message — is appended to a single
+:class:`Trace` as :class:`TraceRecord` rows.  Trace checkers (exclusion,
+wait-freedom, completeness, accuracy, fairness) operate purely on these
+rows, never on live simulator state, so a trace can be saved and re-checked.
+
+Record kinds used across the library (by convention):
+
+``"state"``     diner phase change: ``instance``, ``role``, ``state`` (str)
+``"suspect"``   oracle output change: ``target``, ``suspected`` (bool)
+``"crash"``     process crash
+``"send"``      message sent (only when ``record_messages`` is on)
+``"deliver"``   message delivered (only when ``record_messages`` is on)
+plus algorithm-specific kinds (``"ping"``, ``"decide"``, ``"duty"``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.types import ProcessId, Time
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed event: ``(time, kind, pid, data)``."""
+
+    time: Time
+    kind: str
+    pid: ProcessId
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceRecord` rows, time-ordered."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+        self._now_fn: Optional[Callable[[], Time]] = None
+
+    def bind_clock(self, now_fn: Callable[[], Time]) -> None:
+        self._now_fn = now_fn
+
+    # -- writing ------------------------------------------------------------
+
+    def record(self, kind: str, pid: ProcessId, **data: Any) -> TraceRecord:
+        t = self._now_fn() if self._now_fn is not None else 0.0
+        rec = TraceRecord(time=t, kind=kind, pid=pid, data=data)
+        self._records.append(rec)
+        return rec
+
+    # -- reading ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        kind: str | None = None,
+        pid: ProcessId | None = None,
+        where: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """All records matching the given filters, in time order."""
+        out = []
+        for r in self._records:
+            if kind is not None and r.kind != kind:
+                continue
+            if pid is not None and r.pid != pid:
+                continue
+            if where is not None and not where(r):
+                continue
+            out.append(r)
+        return out
+
+    def series(
+        self,
+        kind: str,
+        field_name: str,
+        pid: ProcessId | None = None,
+        where: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[tuple[Time, Any]]:
+        """``(time, value)`` pairs of ``data[field_name]`` for matching rows."""
+        return [
+            (r.time, r.data[field_name])
+            for r in self.records(kind=kind, pid=pid, where=where)
+        ]
+
+    def last_time(self) -> Time:
+        """Time of the final record (0.0 for an empty trace)."""
+        return self._records[-1].time if self._records else 0.0
+
+    def crash_times(self) -> dict[ProcessId, Time]:
+        """Map of crashed process -> crash time."""
+        return {r.pid: r.time for r in self.records(kind="crash")}
+
+    def kinds(self) -> dict[str, int]:
+        """Histogram of record kinds (diagnostic aid)."""
+        out: dict[str, int] = {}
+        for r in self._records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+
+def state_intervals(
+    events: Sequence[tuple[Time, str]],
+    state: str,
+    end_time: Time,
+) -> list[tuple[Time, Time]]:
+    """Convert a state-change series into closed intervals spent in ``state``.
+
+    ``events`` is a time-ordered ``(time, new_state)`` series.  An interval
+    still open at the end of the run is closed at ``end_time`` (a diner that
+    crashed or never exited is 'in state' until then, which is exactly what
+    exclusion checkers need: a crashed eater stops conflicting only once
+    crashed — callers clip by crash time separately if required).
+    """
+    out: list[tuple[Time, Time]] = []
+    start: Optional[Time] = None
+    for t, s in events:
+        if s == state and start is None:
+            start = t
+        elif s != state and start is not None:
+            out.append((start, t))
+            start = None
+    if start is not None:
+        out.append((start, max(end_time, start)))
+    return out
+
+
+def intervals_overlap(a: tuple[Time, Time], b: tuple[Time, Time]) -> bool:
+    """True when two closed-open intervals genuinely overlap (not merely touch)."""
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def overlapping_pairs(
+    xs: Iterable[tuple[Time, Time]],
+    ys: Iterable[tuple[Time, Time]],
+) -> list[tuple[tuple[Time, Time], tuple[Time, Time]]]:
+    """All genuinely overlapping pairs between two interval lists."""
+    return [
+        (a, b)
+        for a in xs
+        for b in ys
+        if intervals_overlap(a, b)
+    ]

@@ -1,0 +1,53 @@
+"""Unit tests for the table formatter."""
+
+import pytest
+
+from repro.analysis.report import Table
+
+
+def test_renders_header_and_rows():
+    t = Table(["name", "ok"])
+    t.add_row(["alpha", True])
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "alpha" in lines[2] and "yes" in lines[2]
+
+
+def test_title_rendered_first():
+    t = Table(["a"], title="My Table")
+    t.add_row([1])
+    assert t.render().splitlines()[0] == "My Table"
+
+
+def test_column_count_enforced():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+def test_float_formatting():
+    t = Table(["x"])
+    t.add_row([3.14159])
+    assert "3.14" in t.render()
+
+
+def test_bool_and_none_formatting():
+    t = Table(["x", "y"])
+    t.add_row([False, None])
+    body = t.render().splitlines()[-1]
+    assert "no" in body and "-" in body
+
+
+def test_columns_aligned():
+    t = Table(["col"])
+    t.add_row(["short"])
+    t.add_row(["a-much-longer-cell"])
+    lines = t.render().splitlines()
+    assert len(lines[-1]) == len(lines[-2])
+
+
+def test_empty_table_renders_header_only():
+    t = Table(["a", "b"])
+    out = t.render()
+    assert len(out.splitlines()) == 2

@@ -1,0 +1,85 @@
+"""Unit tests for Figure-1 session analysis."""
+
+import pytest
+
+from repro.analysis.sessions import (
+    check_handoff_overlap,
+    check_witness_throttling,
+    render_ascii_timeline,
+    sessions_after,
+)
+
+
+class TestSessionsAfter:
+    def test_filters_by_start(self):
+        ivs = [(1.0, 2.0), (5.0, 6.0)]
+        assert sessions_after(ivs, 3.0) == [(5.0, 6.0)]
+
+    def test_boundary_inclusive(self):
+        assert sessions_after([(3.0, 4.0)], 3.0) == [(3.0, 4.0)]
+
+
+class TestThrottling:
+    def test_ok_subject_between_witness_sessions(self):
+        witness = [(0.0, 1.0), (4.0, 5.0), (8.0, 9.0)]
+        subject = [(2.0, 3.0), (6.0, 7.0)]
+        ok, checked = check_witness_throttling(witness, subject, after=0.0)
+        assert ok and checked == 2
+
+    def test_fails_without_intervening_subject(self):
+        witness = [(0.0, 1.0), (2.0, 3.0)]
+        subject = [(10.0, 11.0)]
+        ok, _ = check_witness_throttling(witness, subject, after=0.0)
+        assert not ok
+
+    def test_suffix_restriction(self):
+        # Violation in the prefix, clean suffix.
+        witness = [(0.0, 1.0), (2.0, 3.0), (10.0, 11.0), (14.0, 15.0)]
+        subject = [(12.0, 13.0)]
+        assert not check_witness_throttling(witness, subject, after=0.0)[0]
+        assert check_witness_throttling(witness, subject, after=9.0)[0]
+
+    def test_single_session_trivially_ok(self):
+        ok, checked = check_witness_throttling([(1.0, 2.0)], [], after=0.0)
+        assert ok and checked == 0
+
+
+class TestHandoff:
+    def test_ok_when_sessions_overlap_pairwise(self):
+        s0 = [(0.0, 4.0), (6.0, 10.0)]
+        s1 = [(3.0, 7.0), (9.0, 13.0)]
+        ok, checked = check_handoff_overlap(s0, s1, after=0.0)
+        assert ok and checked == 4
+
+    def test_fails_on_isolated_session(self):
+        s0 = [(0.0, 1.0)]
+        s1 = [(5.0, 6.0)]
+        assert not check_handoff_overlap(s0, s1, after=0.0)[0]
+
+    def test_suffix_restriction(self):
+        s0 = [(0.0, 1.0), (6.0, 10.0)]
+        s1 = [(9.0, 12.0)]
+        assert not check_handoff_overlap(s0, s1, after=0.0)[0]
+        assert check_handoff_overlap(s0, s1, after=5.0)[0]
+
+
+class TestRender:
+    def test_rows_and_ruler(self):
+        out = render_ascii_timeline({"a": [(0.0, 5.0)], "b": []},
+                                    0.0, 10.0, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "█" in lines[0] and "█" not in lines[1]
+
+    def test_full_interval_fills_row(self):
+        out = render_ascii_timeline({"a": [(0.0, 10.0)]}, 0.0, 10.0, width=10)
+        assert out.splitlines()[0].count("█") == 10
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            render_ascii_timeline({}, 5.0, 5.0)
+
+    def test_fixed_width(self):
+        out = render_ascii_timeline({"x": [(1.0, 2.0)]}, 0.0, 4.0, width=40)
+        row = out.splitlines()[0]
+        assert row.count("█") + row.count("·") == 40

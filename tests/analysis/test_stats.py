@@ -1,0 +1,49 @@
+"""Tests for seed-sweep statistics."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import SweepStats, sweep, sweep_many
+
+
+def test_basic_stats():
+    s = SweepStats("x", (1.0, 2.0, 3.0))
+    assert s.n == 3 and s.mean == 2.0
+    assert s.min == 1.0 and s.max == 3.0
+    assert s.std == 1.0
+
+
+def test_single_value_std_zero():
+    assert SweepStats("x", (5.0,)).std == 0.0
+
+
+def test_empty_stats_are_nan():
+    s = SweepStats("x", ())
+    assert math.isnan(s.mean) and s.n == 0
+
+
+def test_summary_format():
+    text = SweepStats("x", (1.0, 3.0)).summary()
+    assert "±" in text and "(n=2)" in text
+
+
+def test_sweep_skips_none():
+    s = sweep(lambda seed: None if seed % 2 else float(seed), range(6))
+    assert s.values == (0.0, 2.0, 4.0)
+
+
+def test_sweep_many_aggregates_per_metric():
+    stats = sweep_many(
+        lambda seed: {"a": float(seed), "b": None if seed == 0 else 1.0},
+        [0, 1, 2],
+    )
+    assert stats["a"].n == 3
+    assert stats["b"].n == 2
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+def test_min_le_mean_le_max(values):
+    s = SweepStats("x", tuple(values))
+    assert s.min <= s.mean <= s.max or math.isclose(s.min, s.max)

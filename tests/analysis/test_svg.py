@@ -1,0 +1,77 @@
+"""Tests for the SVG timeline renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import render_svg_timeline, save_svg
+from repro.errors import ConfigurationError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str):
+    return ET.fromstring(svg)
+
+
+def test_output_is_wellformed_xml():
+    svg = render_svg_timeline({"a": [(1.0, 2.0)]}, 0.0, 10.0)
+    root = parse(svg)
+    assert root.tag == f"{SVG_NS}svg"
+
+
+def test_one_rect_per_interval_plus_background():
+    svg = render_svg_timeline({"a": [(1.0, 2.0), (4.0, 5.0)], "b": []},
+                              0.0, 10.0)
+    root = parse(svg)
+    rects = root.findall(f"{SVG_NS}rect")
+    assert len(rects) == 1 + 2   # background + two sessions
+
+
+def test_intervals_outside_window_clipped_away():
+    svg = render_svg_timeline({"a": [(100.0, 200.0)]}, 0.0, 10.0)
+    root = parse(svg)
+    assert len(root.findall(f"{SVG_NS}rect")) == 1   # background only
+
+
+def test_partial_overlap_clipped_to_window():
+    svg = render_svg_timeline({"a": [(8.0, 20.0)]}, 0.0, 10.0, width=900,
+                              label_width=100)
+    root = parse(svg)
+    session = root.findall(f"{SVG_NS}rect")[1]
+    x = float(session.get("x"))
+    w = float(session.get("width"))
+    assert x + w <= 900 - 20 + 1e-6
+
+
+def test_title_and_marker_rendered():
+    svg = render_svg_timeline({"a": [(1.0, 2.0)]}, 0.0, 10.0,
+                              title="T <escaped>", marker=5.0,
+                              marker_label="conv")
+    assert "T &lt;escaped&gt;" in svg
+    assert "conv" in svg
+    assert "stroke-dasharray" in svg
+
+
+def test_empty_window_rejected():
+    with pytest.raises(ConfigurationError):
+        render_svg_timeline({"a": []}, 5.0, 5.0)
+
+
+def test_no_tracks_rejected():
+    with pytest.raises(ConfigurationError):
+        render_svg_timeline({}, 0.0, 10.0)
+
+
+def test_save_svg_roundtrip(tmp_path):
+    svg = render_svg_timeline({"a": [(1.0, 2.0)]}, 0.0, 10.0)
+    path = save_svg(svg, tmp_path / "nested" / "fig.svg")
+    assert path.exists()
+    parse(path.read_text())
+
+
+def test_axis_has_six_tick_labels():
+    svg = render_svg_timeline({"a": []}, 0.0, 100.0)
+    root = parse(svg)
+    labels = [t.text for t in root.findall(f"{SVG_NS}text")]
+    assert sum(1 for x in labels if x and x.isdigit()) == 6

@@ -1,0 +1,86 @@
+"""Tests for the WSN duty-cycle application."""
+
+import pytest
+
+from repro.apps.wsn import WSNExperiment
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def reports():
+    exp = WSNExperiment(rows=3, cols=3, seed=5, battery=300.0,
+                        max_time=1200.0)
+    return exp.run_always_on(), exp.run_dining()
+
+
+def test_rates_validated():
+    with pytest.raises(ConfigurationError):
+        WSNExperiment(duty_rate=0.1, idle_rate=0.2)
+
+
+def test_always_on_everyone_dies_at_battery_over_duty_rate(reports):
+    base, _ = reports
+    assert len(base.crash_times) == 9
+    # battery 300 / duty 2.0 = 150, plus polling granularity.
+    assert all(145.0 <= t <= 160.0 for t in base.crash_times.values())
+
+
+def test_dining_outlives_always_on(reports):
+    base, dining = reports
+    assert dining.lifetime > 1.5 * base.lifetime
+
+
+def test_dining_redundancy_is_finite(reports):
+    _, dining = reports
+    assert (dining.last_redundancy is None
+            or dining.last_redundancy < dining.lifetime + 100.0)
+
+
+def test_coverage_series_fractions_in_unit_interval(reports):
+    for rep in reports:
+        assert all(0.0 <= f <= 1.0 for _, f in rep.coverage_series)
+
+
+def test_coverage_eventually_zero_after_all_deaths(reports):
+    _, dining = reports
+    last_death = max(dining.crash_times.values())
+    tail = [f for t, f in dining.coverage_series if t > last_death + 5.0]
+    assert tail and all(f == 0.0 for f in tail)
+
+
+def test_format_row_mentions_scheduler(reports):
+    base, dining = reports
+    assert "always-on" in base.format_row()
+    assert "dining" in dining.format_row()
+
+
+def test_determinism():
+    exp = WSNExperiment(rows=2, cols=2, seed=9, battery=200.0,
+                        max_time=600.0)
+    a = exp.run_dining()
+    b = WSNExperiment(rows=2, cols=2, seed=9, battery=200.0,
+                      max_time=600.0).run_dining()
+    assert a.lifetime == b.lifetime
+    assert a.crash_times == b.crash_times
+
+
+class TestCoverageAware:
+    @pytest.fixture(scope="class")
+    def aware(self):
+        exp = WSNExperiment(rows=3, cols=3, seed=5, battery=300.0,
+                            max_time=1200.0)
+        return exp.run_coverage_aware()
+
+    def test_outlives_always_on(self, aware, reports):
+        base, _ = reports
+        assert aware.lifetime > 1.5 * base.lifetime
+
+    def test_redundancy_finite(self, aware):
+        assert (aware.last_redundancy is None
+                or aware.last_redundancy < 600.0)
+
+    def test_everyone_eventually_dies(self, aware):
+        assert len(aware.crash_times) == 9
+
+    def test_scheduler_label(self, aware):
+        assert aware.scheduler == "cover-aware"

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, FixedDelays, SimConfig
+from repro.sim.faults import CrashSchedule
+
+
+@pytest.fixture
+def engine():
+    """A small deterministic engine with fixed 1.0 message delays."""
+    return Engine(SimConfig(seed=1, max_time=500.0),
+                  delay_model=FixedDelays(1.0))
+
+
+def make_engine(seed: int = 1, max_time: float = 500.0, delay: float = 1.0,
+                crash: CrashSchedule | None = None,
+                record_messages: bool = False) -> Engine:
+    """Deterministic engine factory for tests needing custom knobs."""
+    return Engine(
+        SimConfig(seed=seed, max_time=max_time,
+                  record_messages=record_messages),
+        delay_model=FixedDelays(delay),
+        crash_schedule=crash or CrashSchedule.none(),
+    )

@@ -1,0 +1,122 @@
+"""Tests for Chandra–Toueg consensus."""
+
+import pytest
+
+from repro.consensus.chandra_toueg import (
+    ChandraTouegConsensus,
+    check_consensus,
+    setup_consensus,
+)
+from repro.errors import ConfigurationError
+from repro.oracles import EventuallyPerfectDetector, attach_detectors
+from repro.sim import Engine, PartialSynchronyDelays, SimConfig
+from repro.sim.faults import CrashSchedule
+
+
+def run_consensus(seed=1, n=4, crash=None, max_time=6000.0, gst=100.0):
+    pids = [f"p{i}" for i in range(n)]
+    sched = crash or CrashSchedule.none()
+    eng = Engine(
+        SimConfig(seed=seed, max_time=max_time),
+        delay_model=PartialSynchronyDelays(gst=gst, delta=1.5,
+                                           pre_gst_max=20.0),
+        crash_schedule=sched,
+    )
+    for pid in pids:
+        eng.add_process(pid)
+    mods = attach_detectors(
+        eng, pids,
+        lambda o, peers: EventuallyPerfectDetector(
+            "fd", peers, heartbeat_period=4, initial_timeout=12),
+    )
+    proposals = {pid: f"v{i}" for i, pid in enumerate(pids)}
+    eps = setup_consensus(eng, pids, mods, proposals)
+    eng.run(stop_when=lambda: all(
+        eng.process(p).crashed or eps[p].decided is not None for p in pids))
+    return check_consensus(eng.trace, pids, sched, proposals), eng, eps
+
+
+def test_needs_at_least_two_processes():
+    with pytest.raises(ConfigurationError):
+        ChandraTouegConsensus("c", ["solo"], detector=None, initial_value=1)
+
+
+def test_coordinator_rotation():
+    c = ChandraTouegConsensus("c", ["a", "b", "c"], detector=None,
+                              initial_value=0)
+    assert [c.coordinator(r) for r in (1, 2, 3, 4)] == ["a", "b", "c", "a"]
+
+
+def test_failure_free_decides():
+    result, eng, _ = run_consensus(seed=200)
+    assert result.ok, result.format_table()
+
+
+def test_agreement_single_value():
+    result, *_ = run_consensus(seed=201)
+    assert len(set(result.decisions.values())) == 1
+
+
+def test_validity_decided_value_was_proposed():
+    result, *_ = run_consensus(seed=202)
+    assert result.validity
+
+
+def test_crash_of_first_coordinator():
+    result, *_ = run_consensus(seed=203,
+                               crash=CrashSchedule.single("p0", 30.0))
+    assert result.ok, result.format_table()
+
+
+def test_crash_mid_protocol():
+    result, *_ = run_consensus(seed=204, n=5,
+                               crash=CrashSchedule({"p1": 60.0, "p4": 20.0}))
+    assert result.ok, result.format_table()
+
+
+def test_late_crash_after_decision_is_harmless():
+    result, eng, eps = run_consensus(seed=205,
+                                     crash=CrashSchedule.single("p3", 5000.0))
+    assert result.agreement and result.validity
+    # Correct processes decided (p3 may or may not have before crashing).
+    for pid in ("p0", "p1", "p2"):
+        assert pid in result.decisions
+
+
+@pytest.mark.parametrize("seed", [210, 211, 212, 213])
+def test_safety_sweep(seed):
+    """Agreement and validity across seeds and random single crashes."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    crash = CrashSchedule.random([f"p{i}" for i in range(4)], max_faulty=1,
+                                 horizon=300.0, rng=rng)
+    result, *_ = run_consensus(seed=seed, crash=crash)
+    assert result.agreement and result.validity
+    assert result.termination, result.format_table()
+
+
+def test_check_consensus_flags_disagreement():
+    """The checker itself must catch a (synthetic) split decision."""
+    from repro.sim.trace import Trace
+
+    t = Trace()
+    clock = {"now": 0.0}
+    t.bind_clock(lambda: clock["now"])
+    t.record("decide", pid="a", value="x", round=1)
+    t.record("decide", pid="b", value="y", round=1)
+    res = check_consensus(t, ["a", "b"], CrashSchedule.none(),
+                          {"a": "x", "b": "y"})
+    assert not res.agreement and not res.ok
+
+
+def test_check_consensus_flags_invalid_value():
+    from repro.sim.trace import Trace
+
+    t = Trace()
+    t.bind_clock(lambda: 0.0)
+    for pid in ("a", "b"):
+        t.record("decide", pid=pid, value="alien", round=1)
+    res = check_consensus(t, ["a", "b"], CrashSchedule.none(),
+                          {"a": "x", "b": "y"})
+    assert not res.validity

@@ -1,0 +1,141 @@
+"""Unit tests for Chandra–Toueg phase logic (driven by hand, no network)."""
+
+from repro.consensus.chandra_toueg import ChandraTouegConsensus
+from repro.types import Message
+from tests.conftest import make_engine
+
+PIDS = ["a", "b", "c", "d"]
+
+
+class StubDetector:
+    def __init__(self, suspected=()):
+        self._suspected = set(suspected)
+
+    def suspected(self, q):
+        return q in self._suspected
+
+
+def make_endpoint(pid="a", suspected=(), value="v"):
+    eng = make_engine()
+    for p in PIDS:
+        eng.add_process(p)
+    ep = ChandraTouegConsensus("c", PIDS, StubDetector(suspected), value)
+    from repro.consensus.broadcast import ReliableBroadcast
+
+    rb = ReliableBroadcast(ep.rb_name, peers=[x for x in PIDS if x != pid],
+                           deliver=ep.on_rb_deliver)
+    eng.process(pid).add_component(ep)
+    eng.process(pid).add_component(rb)
+    return eng, ep
+
+
+def estimate(sender, r, est, ts=0):
+    return Message(sender, "a", "c", "estimate",
+                   payload={"round": r, "est": est, "ts": ts})
+
+
+def test_majority_is_floor_half_plus_one():
+    _, ep = make_endpoint()
+    assert ep.majority == 3
+
+
+def test_estimate_sent_to_round_coordinator():
+    eng, ep = make_endpoint()
+    for _ in range(4):
+        eng.process("a").step()
+    assert ep.estimate_sent
+    assert eng.network.sent_by_kind.get("estimate") == 1
+
+
+def test_coordinator_proposes_on_majority():
+    eng, ep = make_endpoint()   # 'a' coordinates round 1
+    for sender, ts in (("b", 0), ("c", 2), ("d", 1)):
+        ep.on_estimate(estimate(sender, 1, f"v-{sender}", ts))
+    for _ in range(8):
+        eng.process("a").step()
+    assert 1 in ep._proposed
+    # Highest-timestamp estimate wins.
+    assert ep._proposal_value(1) == "v-c"
+
+
+def test_no_proposal_below_majority():
+    eng, ep = make_endpoint()
+    ep.on_estimate(estimate("b", 1, "x"))
+    ep.on_estimate(estimate("c", 1, "y"))
+    assert len(ep._estimates[1]) == 2   # below majority=3
+    for _ in range(6):
+        eng.process("a").step()
+    assert 1 not in ep._proposed
+
+
+def test_non_coordinator_never_proposes():
+    eng, ep = make_endpoint()
+    for sender in ("a", "b", "c"):
+        ep.on_estimate(estimate(sender, 2, "x"))   # round 2: 'b' coordinates
+    for _ in range(6):
+        eng.process("a").step()
+    assert 2 not in ep._proposed
+
+
+def test_adopt_acks_and_advances_round():
+    eng, ep = make_endpoint()
+    for _ in range(4):
+        eng.process("a").step()            # send own estimate
+    ep.on_propose(Message("a", "a", "c", "propose",
+                          payload={"round": 1, "v": "chosen"}))
+    for _ in range(8):
+        eng.process("a").step()
+    assert ep.estimate == "chosen" and ep.ts == 1
+    assert ep.round == 2
+    assert eng.network.sent_by_kind.get("ack") == 1
+
+
+def test_suspected_coordinator_gets_nack():
+    eng, ep = make_endpoint(pid="a", suspected=set())
+    # Advance into round 2 whose coordinator 'b' we suspect.
+    ep.detector = StubDetector({"b"})
+    for _ in range(4):
+        eng.process("a").step()            # round 1 estimate to self
+    ep.on_propose(Message("a", "a", "c", "propose",
+                          payload={"round": 1, "v": "x"}))
+    for _ in range(16):
+        eng.process("a").step()   # adopt; round 2; estimate to b; give up
+    assert ep.round >= 3          # moved past the suspected coordinator
+    assert eng.network.sent_by_kind.get("nack", 0) >= 1
+
+
+def test_unanimous_acks_trigger_decision_broadcast():
+    eng, ep = make_endpoint()
+    for sender in ("b", "c", "d"):
+        ep.on_estimate(estimate(sender, 1, "val"))
+    for _ in range(8):
+        eng.process("a").step()            # propose
+    for sender in ("b", "c", "d"):
+        ep.on_ack(Message(sender, "a", "c", "ack", payload={"round": 1}))
+    for _ in range(8):
+        eng.process("a").step()            # conclude -> rb broadcast
+    eng.run(until=20.0)                    # let the local rb deliver
+    assert ep.decided == "val"
+
+
+def test_any_nack_abandons_round_without_decision():
+    eng, ep = make_endpoint()
+    for sender in ("b", "c", "d"):
+        ep.on_estimate(estimate(sender, 1, "val"))
+    for _ in range(8):
+        eng.process("a").step()
+    ep.on_ack(Message("b", "a", "c", "ack", payload={"round": 1}))
+    ep.on_ack(Message("c", "a", "c", "ack", payload={"round": 1}))
+    ep.on_nack(Message("d", "a", "c", "nack", payload={"round": 1}))
+    for _ in range(8):
+        eng.process("a").step()
+    eng.run(until=20.0)
+    assert 1 in ep._closed
+    assert ep.decided is None
+
+
+def test_decide_is_idempotent():
+    _, ep = make_endpoint()
+    ep.on_rb_deliver("a", {"decision": "x", "round": 1})
+    ep.on_rb_deliver("a", {"decision": "y", "round": 2})
+    assert ep.decided == "x" and ep.decided_round == 1

@@ -1,0 +1,61 @@
+"""Tests for leader-election checkers (Ω contract)."""
+
+from repro.consensus.leader import check_leader_stability, leader_series
+from repro.sim.faults import CrashSchedule
+from repro.sim.trace import Trace
+
+
+def synth(rows):
+    t = Trace()
+    clock = {"now": 0.0}
+    t.bind_clock(lambda: clock["now"])
+    for time, pid, leader in rows:
+        clock["now"] = time
+        t.record("leader", pid=pid, leader=leader)
+    return t
+
+
+def test_leader_series():
+    t = synth([(1.0, "a", "a"), (5.0, "a", "b")])
+    assert leader_series(t, "a") == [(1.0, "a"), (5.0, "b")]
+
+
+def test_stable_agreement():
+    t = synth([(1.0, "a", "a"), (1.0, "b", "a")])
+    ok, leader, stab = check_leader_stability(t, ["a", "b"],
+                                              CrashSchedule.none())
+    assert ok and leader == "a" and stab == 1.0
+
+
+def test_disagreement_fails():
+    t = synth([(1.0, "a", "a"), (1.0, "b", "b")])
+    ok, *_ = check_leader_stability(t, ["a", "b"], CrashSchedule.none())
+    assert not ok
+
+
+def test_crashed_leader_fails():
+    t = synth([(1.0, "a", "b"), (1.0, "b", "b")])
+    sched = CrashSchedule.single("b", 50.0)
+    ok, leader, _ = check_leader_stability(t, ["a", "b"], sched)
+    assert not ok and leader == "b"
+
+
+def test_crashed_voters_ignored():
+    t = synth([(1.0, "a", "a"), (1.0, "b", "b")])  # b disagrees but crashes
+    sched = CrashSchedule.single("b", 50.0)
+    ok, leader, _ = check_leader_stability(t, ["a", "b"], sched)
+    assert ok and leader == "a"
+
+
+def test_missing_output_fails():
+    t = synth([(1.0, "a", "a")])   # b never produced an estimate
+    ok, *_ = check_leader_stability(t, ["a", "b"], CrashSchedule.none())
+    assert not ok
+
+
+def test_stabilization_is_latest_change():
+    t = synth([(1.0, "a", "x"), (9.0, "a", "a"),
+               (1.0, "b", "a")])
+    ok, leader, stab = check_leader_stability(t, ["a", "b"],
+                                              CrashSchedule.none())
+    assert ok and stab == 9.0

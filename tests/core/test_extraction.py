@@ -1,0 +1,78 @@
+"""Tests for the full (all-ordered-pairs) extracted ◇P."""
+
+import pytest
+
+from repro.core.extraction import ExtractedDetector, build_full_extraction
+from repro.errors import ConfigurationError
+from repro.experiments.common import build_system, wf_box
+from repro.oracles.properties import (
+    check_eventual_strong_accuracy,
+    check_strong_completeness,
+)
+from repro.sim.faults import CrashSchedule
+
+
+def run_full(n=3, seed=100, crash=None, max_time=2500.0):
+    pids = [f"p{i}" for i in range(n)]
+    system = build_system(pids, seed=seed, max_time=max_time, crash=crash)
+    detectors, pairs = build_full_extraction(system.engine, pids,
+                                             wf_box(system))
+    system.engine.run()
+    return system, pids, detectors, pairs
+
+
+def test_all_ordered_pairs_built():
+    system, pids, detectors, pairs = run_full(n=3, max_time=10.0)
+    assert len(pairs) == 6                       # 3 * 2 ordered pairs
+    assert set(detectors) == set(pids)
+    assert set(detectors["p0"].monitored) == {"p1", "p2"}
+
+
+def test_monitors_subset():
+    pids = ["a", "b", "c"]
+    system = build_system(pids, seed=1, max_time=10.0)
+    detectors, pairs = build_full_extraction(
+        system.engine, pids, wf_box(system), monitors=[("a", "b")])
+    assert list(pairs) == [("a", "b")]
+    assert list(detectors) == ["a"]
+
+
+def test_facade_query_surface():
+    system, pids, detectors, _ = run_full(n=2, max_time=10.0)
+    d = detectors["p0"]
+    assert isinstance(d, ExtractedDetector)
+    assert d.suspected("p1") == (not d.trusted("p1"))
+    assert d.suspects() <= {"p1"}
+    with pytest.raises(ConfigurationError):
+        d.suspected("ghost")
+
+
+def test_full_system_accuracy_failure_free():
+    system, pids, detectors, _ = run_full(n=3, seed=101)
+    rep = check_eventual_strong_accuracy(
+        system.engine.trace, pids, pids, system.schedule,
+        detector="extracted")
+    assert rep.ok, rep.format_table()
+    for p in pids:
+        assert detectors[p].suspects() == frozenset()
+
+
+def test_full_system_completeness_one_crash():
+    system, pids, detectors, _ = run_full(
+        n=3, seed=102, crash=CrashSchedule.single("p2", 700.0))
+    rep = check_strong_completeness(
+        system.engine.trace, pids, pids, system.schedule,
+        detector="extracted")
+    assert rep.ok, rep.format_table()
+    for p in ("p0", "p1"):
+        assert detectors[p].suspects() == {"p2"}
+
+
+def test_pairs_are_independent_of_each_other():
+    """Crashing p2 must not disturb the (p0, p1) pair's accuracy."""
+    system, pids, detectors, _ = run_full(
+        n=3, seed=103, crash=CrashSchedule.single("p2", 400.0))
+    rep = check_eventual_strong_accuracy(
+        system.engine.trace, pids, pids, system.schedule,
+        detector="extracted")
+    assert rep.ok, rep.format_table()

@@ -1,0 +1,88 @@
+"""Unit tests for Algorithm 1 (witness threads), action by action."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.witness import ExtractedPairModule, WitnessShared, WitnessThread
+from repro.types import DinerState
+from tests.core.helpers import ManualPair
+
+
+def test_witness_index_validated():
+    with pytest.raises(ConfigurationError):
+        WitnessThread("w", 2, WitnessShared(None), diner=None)
+
+
+def test_initially_suspects_target():
+    mp = ManualPair()
+    assert mp.output.suspected("q")       # paper: suspect_q starts true
+
+
+def test_W_h_only_when_both_thinking_and_switch_matches():
+    mp = ManualPair()
+    # switch = 0: witness 0 becomes hungry, witness 1 does not.
+    mp.settle(5)
+    assert mp.wdiners[0].state is DinerState.HUNGRY
+    assert mp.wdiners[1].state is DinerState.THINKING
+
+
+def test_W_x_reads_haveping_and_flips_switch():
+    mp = ManualPair()
+    mp.settle(5)
+    mp.w_shared.haveping[0] = True        # pretend a ping arrived
+    mp.wdiners[0].grant()
+    mp.settle(5)
+    assert not mp.output.suspected("q")   # trusted: haveping was true
+    assert mp.w_shared.haveping[0] is False   # consumed
+    assert mp.w_shared.switch == 1            # hand over to witness 1
+
+
+def test_W_x_suspects_without_ping():
+    mp = ManualPair()
+    mp.settle(5)
+    mp.wdiners[0].grant()
+    mp.settle(5)
+    assert mp.output.suspected("q")
+
+
+def test_witnesses_take_turns():
+    mp = ManualPair()
+    order = []
+    for _ in range(4):
+        mp.settle(5)
+        for i in (0, 1):
+            if mp.wdiners[i].state is DinerState.HUNGRY:
+                order.append(i)
+                mp.wdiners[i].grant()
+                mp.settle(5)
+                mp.wdiners[i].finish()
+    assert order[:4] == [0, 1, 0, 1]
+
+
+def test_W_p_sets_haveping_and_acks():
+    mp = ManualPair()
+    mp.settle(5)
+    # Subject s0 becomes hungry by itself (trigger=0); grant it.
+    assert mp.sdiners[0].state is DinerState.HUNGRY
+    mp.sdiners[0].grant()
+    mp.settle(20)                          # s0 pings, w0 acks
+    assert mp.witnesses[0].pings_received == 1
+    assert mp.witnesses[0].acks_sent == 1
+    assert mp.w_shared.haveping[0] or mp.witnesses[0].eat_sessions > 0
+
+
+def test_eat_sessions_counted():
+    mp = ManualPair()
+    mp.settle(5)
+    mp.wdiners[0].grant()
+    mp.settle(5)
+    assert mp.witnesses[0].eat_sessions == 1
+
+
+def test_witness_exits_immediately_after_eating():
+    mp = ManualPair()
+    mp.settle(5)
+    mp.wdiners[0].grant()
+    mp.settle(5)
+    # W_x fired: the diner has left eating (exiting already finished or not).
+    assert mp.wdiners[0].state is not DinerState.EATING

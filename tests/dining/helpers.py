@@ -1,0 +1,55 @@
+"""Shared builders for dining-layer tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.dining.client import EagerClient
+from repro.dining.wf_ewx import WaitFreeEWXDining
+from repro.oracles import EventuallyPerfectDetector, attach_detectors
+from repro.sim import Engine, PartialSynchronyDelays, SimConfig
+from repro.sim.faults import CrashSchedule
+
+INSTANCE = "DX"
+
+
+def run_dining(
+    graph: nx.Graph,
+    seed: int = 1,
+    max_time: float = 1200.0,
+    gst: float = 120.0,
+    crash: CrashSchedule | None = None,
+    instance_cls=WaitFreeEWXDining,
+    eat_steps: int = 2,
+    attach_clients: bool = True,
+    **instance_kwargs,
+):
+    """Build and run one dining instance with heartbeat ◇P and eager clients.
+
+    Returns ``(engine, schedule, instance, diners)``.
+    """
+    pids = sorted(graph.nodes)
+    sched = crash or CrashSchedule.none()
+    eng = Engine(
+        SimConfig(seed=seed, max_time=max_time),
+        delay_model=PartialSynchronyDelays(gst=gst, delta=1.5,
+                                           pre_gst_max=25.0),
+        crash_schedule=sched,
+    )
+    for pid in pids:
+        eng.add_process(pid)
+    mods = attach_detectors(
+        eng, pids,
+        lambda o, peers: EventuallyPerfectDetector(
+            "fd", peers, heartbeat_period=4, initial_timeout=10),
+    )
+    provider = lambda pid: (lambda q, m=mods[pid]: m.suspected(q))  # noqa: E731
+    instance = instance_cls(INSTANCE, graph, provider, **instance_kwargs)
+    diners = instance.attach(eng)
+    if attach_clients:
+        for pid in pids:
+            eng.process(pid).add_component(
+                EagerClient("client", diners[pid], eat_steps=eat_steps)
+            )
+    eng.run()
+    return eng, sched, instance, diners

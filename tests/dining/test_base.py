@@ -1,0 +1,115 @@
+"""Tests for the diner state machine and instance factory contract."""
+
+import networkx as nx
+import pytest
+
+from repro.dining.base import DinerComponent, DiningInstance
+from repro.errors import ConfigurationError, SpecificationViolation
+from repro.graphs import pair_graph
+from repro.types import DinerState
+from tests.conftest import make_engine
+
+
+class PassiveDiner(DinerComponent):
+    """A diner whose algorithm never schedules anyone (for state tests)."""
+
+
+class PassiveInstance(DiningInstance):
+    def build_diner(self, pid, neighbors):
+        return PassiveDiner(self.component_name(), self.instance_id, neighbors)
+
+
+def attached_diner():
+    eng = make_engine()
+    eng.add_process("p")
+    eng.add_process("q")
+    inst = PassiveInstance("I", pair_graph("p", "q"))
+    diners = inst.attach(eng)
+    return eng, inst, diners["p"]
+
+
+def test_initial_state_thinking():
+    _, _, d = attached_diner()
+    assert d.state is DinerState.THINKING
+
+
+def test_become_hungry_legal():
+    _, _, d = attached_diner()
+    d.become_hungry()
+    assert d.state is DinerState.HUNGRY
+
+
+def test_become_hungry_twice_illegal():
+    _, _, d = attached_diner()
+    d.become_hungry()
+    with pytest.raises(SpecificationViolation):
+        d.become_hungry()
+
+
+def test_exit_without_eating_illegal():
+    _, _, d = attached_diner()
+    with pytest.raises(SpecificationViolation):
+        d.exit_eating()
+
+
+def test_exit_from_eating_legal():
+    _, _, d = attached_diner()
+    d.become_hungry()
+    d._set_state(DinerState.EATING)   # algorithm-side transition
+    d.exit_eating()
+    assert d.state is DinerState.EXITING
+
+
+def test_sessions_counted_on_eating():
+    _, _, d = attached_diner()
+    d.become_hungry()
+    d._set_state(DinerState.EATING)
+    assert d.sessions_eaten == 1
+
+
+def test_state_changes_recorded():
+    eng, _, d = attached_diner()
+    d.become_hungry()
+    rows = eng.trace.records(kind="state", pid="p")
+    assert [r["state"] for r in rows] == ["thinking", "hungry"]
+    assert all(r["instance"] == "I" for r in rows)
+
+
+def test_instance_requires_nonempty_id():
+    with pytest.raises(ConfigurationError):
+        PassiveInstance("", pair_graph("p", "q"))
+
+
+def test_instance_rejects_double_attach():
+    eng = make_engine()
+    eng.add_process("p")
+    eng.add_process("q")
+    inst = PassiveInstance("I", pair_graph("p", "q"))
+    inst.attach(eng)
+    with pytest.raises(ConfigurationError):
+        inst.attach(eng)
+
+
+def test_diner_lookup():
+    _, inst, d = attached_diner()
+    assert inst.diner("p") is d
+    with pytest.raises(ConfigurationError):
+        inst.diner("ghost")
+
+
+def test_neighbors_come_from_graph():
+    g = nx.Graph()
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    eng = make_engine()
+    for pid in "abc":
+        eng.add_process(pid)
+    inst = PassiveInstance("I", g)
+    diners = inst.attach(eng)
+    assert diners["a"].neighbors == ("b", "c")
+    assert diners["b"].neighbors == ("a",)
+
+
+def test_component_name_embeds_instance_id():
+    inst = PassiveInstance("XYZ", pair_graph("p", "q"))
+    assert inst.component_name() == "XYZ:diner"

@@ -1,0 +1,70 @@
+"""Tests for the adversarial-but-legal deferred-exclusion box."""
+
+from repro.dining.deferred import DeferredExclusionDining, SessionLedger
+from repro.dining.spec import check_exclusion, check_wait_freedom
+from repro.graphs import pair_graph, ring
+from repro.sim.faults import CrashSchedule
+from tests.dining.helpers import INSTANCE, run_dining
+
+
+class TestSessionLedger:
+    def test_open_close(self):
+        led = SessionLedger()
+        assert led.open_since("p") is None
+        led.opened("p", 3.0)
+        assert led.open_since("p") == 3.0
+        led.closed("p")
+        assert led.open_since("p") is None
+
+    def test_close_unknown_is_noop(self):
+        SessionLedger().closed("ghost")
+
+
+def test_still_wait_free():
+    g = ring(4)
+    eng, sched, _, _ = run_dining(g, seed=60,
+                                  instance_cls=DeferredExclusionDining,
+                                  mistake_horizon=150.0)
+    rep = check_wait_freedom(eng.trace, g, INSTANCE, sched, eng.now,
+                             grace=80.0)
+    assert rep.ok
+
+
+def test_still_eventually_exclusive_when_sessions_finite():
+    """The legality claim: with finite eating sessions the box satisfies
+    ◇WX — violations stop once pre-horizon sessions close."""
+    g = ring(4)
+    eng, sched, _, _ = run_dining(g, seed=61, max_time=1500.0,
+                                  instance_cls=DeferredExclusionDining,
+                                  mistake_horizon=150.0)
+    rep = check_exclusion(eng.trace, g, INSTANCE, sched, eng.now)
+    assert rep.eventually_exclusive_by(eng.now * 0.5), rep.format_table()
+
+
+def test_ledger_keeps_crashed_eater_open():
+    g = pair_graph("a", "b")
+    sched = CrashSchedule.single("a", 100.0)
+    eng, sched, inst, _ = run_dining(g, seed=62, crash=sched,
+                                     max_time=400.0,
+                                     instance_cls=DeferredExclusionDining,
+                                     mistake_horizon=150.0)
+    # If 'a' was eating when it crashed, its session never closes.
+    a_rows = [r for r in eng.trace.records(kind="state", pid="a")
+              if r["state"] == "eating"]
+    if a_rows and inst.ledger.open_since("a") is not None:
+        assert inst.ledger.open_since("a") <= 100.0
+
+
+def test_violations_exceed_well_behaved_box():
+    """The adversarial box misbehaves more than the base algorithm during
+    the horizon window (that is its purpose)."""
+    g = ring(4)
+    base_eng, base_sched, _, _ = run_dining(g, seed=63, max_time=800.0)
+    adv_eng, adv_sched, _, _ = run_dining(
+        g, seed=63, max_time=800.0,
+        instance_cls=DeferredExclusionDining, mistake_horizon=300.0,
+    )
+    base = check_exclusion(base_eng.trace, g, INSTANCE, base_sched,
+                           base_eng.now)
+    adv = check_exclusion(adv_eng.trace, g, INSTANCE, adv_sched, adv_eng.now)
+    assert adv.count > base.count

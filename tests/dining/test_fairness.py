@@ -1,0 +1,70 @@
+"""Tests for fairness measurement and the k-fairness of the algorithm."""
+
+from repro.dining.fairness import FairnessReport, measure_fairness
+from repro.dining.spec import OvertakeSample, check_exclusion
+from repro.graphs import clique, ring
+from repro.sim.faults import CrashSchedule
+from tests.dining.helpers import INSTANCE, run_dining
+
+
+class TestFairnessReport:
+    def samples(self):
+        return [
+            OvertakeSample("p", "q", 1.0, 5),
+            OvertakeSample("p", "q", 10.0, 1),
+            OvertakeSample("q", "p", 12.0, 0),
+        ]
+
+    def test_worst_overall(self):
+        rep = FairnessReport("I", self.samples())
+        assert rep.worst_overall() == 5
+
+    def test_worst_after(self):
+        rep = FairnessReport("I", self.samples())
+        assert rep.worst_after(5.0) == 1
+
+    def test_convergence_to_k(self):
+        rep = FairnessReport("I", self.samples())
+        conv = rep.convergence_to_k(1)
+        assert conv is not None and conv > 1.0
+
+    def test_convergence_when_always_fair(self):
+        rep = FairnessReport("I", [OvertakeSample("p", "q", 1.0, 1)])
+        assert rep.convergence_to_k(1) == 0.0
+
+    def test_convergence_fails_when_suffix_unfair(self):
+        rep = FairnessReport("I", [OvertakeSample("p", "q", 99.0, 7)])
+        assert rep.convergence_to_k(1) is None
+
+    def test_per_pair_worst(self):
+        rep = FairnessReport("I", self.samples())
+        assert rep.per_pair_worst()[("p", "q")] == 5
+
+    def test_empty_report(self):
+        rep = FairnessReport("I", [])
+        assert rep.worst_overall() == 0
+        assert rep.eventual_k(0.0) == 0
+
+
+class TestMeasuredFairness:
+    def test_eventual_bounded_overtaking_on_clique(self):
+        g = clique(3)
+        eng, sched, _, _ = run_dining(g, seed=80, max_time=2000.0)
+        excl = check_exclusion(eng.trace, g, INSTANCE, sched, eng.now)
+        conv = (excl.last_violation_end or 0.0) + 200.0
+        rep = measure_fairness(eng.trace, g, INSTANCE, eng.now, sched)
+        assert rep.worst_after(conv) <= 2    # eventual 2-fairness
+
+    def test_crashed_waiters_excluded(self):
+        g = ring(4)
+        sched = CrashSchedule.single("p1", 300.0)
+        eng, sched, _, _ = run_dining(g, seed=81, crash=sched)
+        rep = measure_fairness(eng.trace, g, INSTANCE, eng.now, sched)
+        assert all(s.waiter != "p1" for s in rep.samples)
+
+    def test_format_table_lists_pairs(self):
+        g = clique(3)
+        eng, sched, _, _ = run_dining(g, seed=82, max_time=600.0)
+        rep = measure_fairness(eng.trace, g, INSTANCE, eng.now, sched)
+        text = rep.format_table()
+        assert "overtook" in text

@@ -1,0 +1,59 @@
+"""Tests for the fault-intolerant hygienic baseline."""
+
+from repro.dining.hygienic import HygienicDining, never_suspect
+from repro.dining.spec import check_exclusion, check_wait_freedom
+from repro.graphs import pair_graph, ring
+from repro.sim.faults import CrashSchedule
+from tests.dining.helpers import INSTANCE, run_dining
+
+
+def run_hygienic(graph, **kw):
+    # HygienicDining takes no provider; adapt the helper's signature.
+    class Adapter(HygienicDining):
+        def __init__(self, instance_id, g, provider):
+            super().__init__(instance_id, g)
+
+    return run_dining(graph, instance_cls=Adapter, **kw)
+
+
+def test_never_suspect_provider():
+    suspect = never_suspect("p")
+    assert not suspect("anyone")
+
+
+def test_perpetual_exclusion_failure_free():
+    g = ring(4)
+    eng, sched, _, _ = run_dining(g, seed=50, instance_cls=lambda i, gr, p:
+                                  HygienicDining(i, gr))
+    rep = check_exclusion(eng.trace, g, INSTANCE, sched, eng.now)
+    assert rep.perpetual_ok          # zero violations, ever
+
+
+def test_starvation_freedom_failure_free():
+    g = ring(4)
+    eng, sched, _, _ = run_hygienic(g, seed=51)
+    rep = check_wait_freedom(eng.trace, g, INSTANCE, sched, eng.now,
+                             grace=80.0)
+    assert rep.ok
+
+
+def test_crash_starves_neighbors():
+    """The motivating failure: a crashed fork-holder blocks its neighbors
+    forever without a failure detector."""
+    g = pair_graph("a", "b")
+    sched = CrashSchedule.single("a", 50.0)   # 'a' holds the initial fork
+    eng, sched, _, _ = run_hygienic(g, seed=52, crash=sched, max_time=1200.0)
+    rep = check_wait_freedom(eng.trace, g, INSTANCE, sched, eng.now,
+                             grace=80.0)
+    assert not rep.ok
+    assert "b" in rep.starving
+
+
+def test_crash_on_ring_blocks_at_least_neighbors():
+    g = ring(4)
+    sched = CrashSchedule.single("p0", 60.0)
+    eng, sched, _, _ = run_hygienic(g, seed=53, crash=sched, max_time=1500.0)
+    rep = check_wait_freedom(eng.trace, g, INSTANCE, sched, eng.now,
+                             grace=100.0)
+    assert not rep.ok                # someone correct starves
+    assert set(rep.starving) & {"p1", "p3"}

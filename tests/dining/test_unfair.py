@@ -1,0 +1,76 @@
+"""Tests for the VIP-biased (legal) dining box."""
+
+import pytest
+
+from repro.dining.client import EagerClient
+from repro.dining.fairness import measure_fairness
+from repro.dining.spec import check_exclusion, check_wait_freedom
+from repro.dining.unfair import UnfairManagerDining
+from repro.errors import ConfigurationError
+from repro.experiments.common import build_system
+from repro.graphs import clique
+
+INSTANCE = "U"
+
+
+def run_unfair(seed=77, vip="p0", burst=3, max_time=2000.0):
+    g = clique(3)
+    pids = sorted(g.nodes)
+    system = build_system(pids, seed=seed, max_time=max_time)
+    inst = UnfairManagerDining(INSTANCE, g, system.provider, vip=vip,
+                               burst=burst)
+    diners = inst.attach(system.engine)
+    for pid in pids:
+        system.engine.process(pid).add_component(
+            EagerClient("cl", diners[pid], eat_steps=2))
+    system.engine.run()
+    return system, g
+
+
+def test_validation():
+    from repro.dining.manager import ManagerRole  # noqa: F401 - context
+    from repro.graphs import pair_graph
+
+    with pytest.raises(ConfigurationError):
+        UnfairManagerDining("U", pair_graph("a", "b"), None, vip="ghost")
+
+
+def test_burst_validation():
+    from repro.dining.unfair import UnfairManagerRole
+    from repro.graphs import pair_graph
+
+    with pytest.raises(ConfigurationError):
+        UnfairManagerRole("m", pair_graph("a", "b"), lambda q: False,
+                          diner_tag="d", vip="a", burst=0)
+
+
+def test_still_wait_free_despite_bias():
+    system, g = run_unfair()
+    rep = check_wait_freedom(system.engine.trace, g, INSTANCE,
+                             system.schedule, system.engine.now, grace=150.0)
+    assert rep.ok, rep.format_table()
+
+
+def test_vip_gets_disproportionate_service():
+    system, g = run_unfair()
+    rep = check_wait_freedom(system.engine.trace, g, INSTANCE,
+                             system.schedule, system.engine.now, grace=150.0)
+    others = [rep.sessions[p] for p in ("p1", "p2")]
+    assert rep.sessions["p0"] > 1.5 * max(others)
+
+
+def test_overtaking_bounded_by_burst():
+    system, g = run_unfair(burst=3)
+    fairness = measure_fairness(system.engine.trace, g, INSTANCE,
+                                system.engine.now, system.schedule)
+    worst = fairness.per_pair_worst()
+    # Non-VIPs are overtaken by the VIP at most ~burst times per hunger.
+    assert worst.get(("p1", "p0"), 0) <= 3
+    assert worst.get(("p2", "p0"), 0) <= 3
+
+
+def test_still_eventually_exclusive():
+    system, g = run_unfair()
+    rep = check_exclusion(system.engine.trace, g, INSTANCE, system.schedule,
+                          system.engine.now)
+    assert rep.eventually_exclusive_by(system.engine.now * 0.6)

@@ -1,0 +1,83 @@
+"""Tests for the oracle module base class and wiring helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oracles.base import OracleModule, attach_detectors
+from tests.conftest import make_engine
+
+
+def module_on_engine(initially_suspect=False):
+    eng = make_engine()
+    proc = eng.add_process("p")
+    mod = OracleModule("fd", ["q", "r"], initially_suspect=initially_suspect)
+    proc.add_component(mod)
+    return eng, mod
+
+
+def test_initially_trusting():
+    _, mod = module_on_engine()
+    assert mod.suspects() == frozenset()
+
+
+def test_initially_suspecting():
+    _, mod = module_on_engine(initially_suspect=True)
+    assert mod.suspects() == {"q", "r"}
+
+
+def test_duplicate_monitored_rejected():
+    with pytest.raises(ConfigurationError):
+        OracleModule("fd", ["q", "q"])
+
+
+def test_unmonitored_query_raises():
+    _, mod = module_on_engine()
+    with pytest.raises(ConfigurationError):
+        mod.suspected("ghost")
+
+
+def test_set_suspected_updates_output():
+    _, mod = module_on_engine()
+    mod.set_suspected("q", True)
+    assert mod.suspected("q") and not mod.suspected("r")
+    assert mod.trusted("r")
+
+
+def test_initial_outputs_recorded_on_attach():
+    eng, _ = module_on_engine()
+    rows = eng.trace.records(kind="suspect")
+    assert len(rows) == 2
+    assert all(r.get("initial") for r in rows)
+
+
+def test_changes_recorded_once_per_transition():
+    eng, mod = module_on_engine()
+    mod.set_suspected("q", True)
+    mod.set_suspected("q", True)   # no-op
+    mod.set_suspected("q", False)
+    rows = eng.trace.records(kind="suspect",
+                             where=lambda r: not r.get("initial"))
+    assert [(r["target"], r["suspected"]) for r in rows] == [
+        ("q", True), ("q", False)
+    ]
+
+
+def test_detector_label_stamped():
+    eng, mod = module_on_engine()
+    mod.detector_label = "custom"
+    mod.set_suspected("q", True)
+    rows = eng.trace.records(kind="suspect",
+                             where=lambda r: not r.get("initial"))
+    assert rows[0]["detector"] == "custom"
+
+
+def test_attach_detectors_full_mesh():
+    eng = make_engine()
+    pids = ["a", "b", "c"]
+    for pid in pids:
+        eng.add_process(pid)
+    mods = attach_detectors(
+        eng, pids, lambda owner, peers: OracleModule("fd", peers)
+    )
+    assert set(mods) == set(pids)
+    assert set(mods["a"].monitored) == {"b", "c"}

@@ -1,0 +1,102 @@
+"""Simulation tests for the heartbeat/adaptive-timeout ◇P."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oracles import EventuallyPerfectDetector, attach_detectors
+from repro.oracles.properties import (
+    check_eventual_strong_accuracy,
+    check_strong_completeness,
+)
+from repro.sim import Engine, PartialSynchronyDelays, SimConfig
+from repro.sim.faults import CrashSchedule
+
+
+def run_system(seed=1, gst=150.0, max_time=1200.0, crash=None, n=3,
+               initial_timeout=10, pre_gst_max=40.0):
+    pids = [f"p{i}" for i in range(n)]
+    sched = crash or CrashSchedule.none()
+    eng = Engine(
+        SimConfig(seed=seed, max_time=max_time),
+        delay_model=PartialSynchronyDelays(gst=gst, delta=1.5,
+                                           pre_gst_max=pre_gst_max),
+        crash_schedule=sched,
+    )
+    for pid in pids:
+        eng.add_process(pid)
+    mods = attach_detectors(
+        eng, pids,
+        lambda o, peers: EventuallyPerfectDetector(
+            "fd", peers, heartbeat_period=4, initial_timeout=initial_timeout),
+    )
+    eng.run()
+    return eng, pids, sched, mods
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        EventuallyPerfectDetector("fd", ["q"], heartbeat_period=0)
+    with pytest.raises(ConfigurationError):
+        EventuallyPerfectDetector("fd", ["q"], initial_timeout=0)
+    with pytest.raises(ConfigurationError):
+        EventuallyPerfectDetector("fd", ["q"], backoff=1.0)
+
+
+def test_strong_completeness_after_crash():
+    eng, pids, sched, _ = run_system(crash=CrashSchedule.single("p2", 400.0))
+    rep = check_strong_completeness(eng.trace, pids, pids, sched,
+                                    detector="fd")
+    assert rep.ok
+    assert rep.convergence is not None and rep.convergence >= 400.0
+
+
+def test_eventual_strong_accuracy_failure_free():
+    eng, pids, sched, _ = run_system()
+    rep = check_eventual_strong_accuracy(eng.trace, pids, pids, sched,
+                                         detector="fd")
+    assert rep.ok
+
+
+def test_mistakes_occur_pre_gst_and_stop(seed=6):
+    eng, pids, sched, mods = run_system(seed=seed, gst=500.0, max_time=2000.0,
+                                        initial_timeout=6, pre_gst_max=80.0)
+    rep = check_eventual_strong_accuracy(eng.trace, pids, pids, sched,
+                                         detector="fd")
+    assert rep.ok                      # converged despite mistakes...
+    total = sum(m.mistakes for m in mods.values())
+    assert total > 0                   # ...which genuinely happened
+    assert rep.convergence is not None
+
+
+def test_timeout_backs_off_on_mistakes():
+    _, _, _, mods = run_system(seed=6, gst=500.0, max_time=2000.0,
+                               initial_timeout=6, pre_gst_max=80.0)
+    grew = any(
+        m.timeout_for(q) > 6 for m in mods.values() for q in m.monitored
+    )
+    assert grew
+
+
+def test_heartbeats_are_sent():
+    eng, *_ = run_system(max_time=300.0)
+    assert eng.network.sent_by_kind.get("hb", 0) > 50
+
+
+def test_unmonitored_heartbeat_ignored():
+    from tests.conftest import make_engine
+
+    eng = make_engine()
+    proc = eng.add_process("p")
+    mod = proc.add_component(EventuallyPerfectDetector("fd", ["q"]))
+    from repro.types import Message
+
+    proc.deliver(Message("stranger", "p", "fd", "hb"))
+    for _ in range(4):
+        proc.step()
+    assert mod.suspects() == frozenset()   # no crash either way
+
+
+def test_no_self_monitoring():
+    _, pids, _, mods = run_system(max_time=100.0)
+    for pid in pids:
+        assert pid not in mods[pid].monitored

@@ -1,0 +1,98 @@
+"""Tests for the ◇S substrate — and that consensus needs only ◇S.
+
+The theory checkpoint: Chandra–Toueg consensus terminates with an oracle
+that *never* stops wrongly suspecting most correct processes, as long as
+one correct anchor is eventually trusted by everyone (eventual weak
+accuracy) and crashes are eventually detected (strong completeness).
+"""
+
+import pytest
+
+from repro.consensus.chandra_toueg import check_consensus, setup_consensus
+from repro.errors import ConfigurationError
+from repro.oracles import attach_detectors
+from repro.oracles.eventually_strong import EventuallyStrongDetector
+from repro.oracles.properties import (
+    check_eventual_strong_accuracy,
+    check_strong_completeness,
+    false_positive_count,
+)
+from repro.sim import Engine, PartialSynchronyDelays, SimConfig
+from repro.sim.faults import CrashSchedule
+
+PIDS = ["p0", "p1", "p2", "p3"]
+
+
+def build(seed=1, crash=None, max_time=4000.0, anchor="p1", flap=0.25):
+    sched = crash or CrashSchedule.none()
+    eng = Engine(
+        SimConfig(seed=seed, max_time=max_time),
+        delay_model=PartialSynchronyDelays(gst=100.0, delta=1.5),
+        crash_schedule=sched,
+    )
+    for pid in PIDS:
+        eng.add_process(pid)
+    mods = attach_detectors(
+        eng, PIDS,
+        lambda o, peers: EventuallyStrongDetector(
+            "es", peers, sched, anchor=anchor, flap_prob=flap),
+    )
+    return eng, sched, mods
+
+
+def test_faulty_anchor_rejected():
+    sched = CrashSchedule.single("p1", 5.0)
+    with pytest.raises(ConfigurationError):
+        EventuallyStrongDetector("es", ["p1"], sched, anchor="p1")
+
+
+def test_completeness_holds():
+    eng, sched, _ = build(seed=530, crash=CrashSchedule.single("p3", 500.0),
+                          max_time=1500.0)
+    eng.run()
+    rep = check_strong_completeness(eng.trace, PIDS, PIDS, sched,
+                                    detector="es")
+    assert rep.ok
+
+
+def test_anchor_eventually_trusted_by_all():
+    eng, sched, mods = build(seed=531, max_time=1200.0)
+    eng.run()
+    for pid in PIDS:
+        if pid != "p1":
+            assert not mods[pid].suspected("p1")
+
+
+def test_non_anchor_flaps_forever():
+    """◇S is strictly weaker than ◇P: eventual strong accuracy fails."""
+    eng, sched, _ = build(seed=532, max_time=1500.0)
+    eng.run()
+    rep = check_eventual_strong_accuracy(eng.trace, PIDS, PIDS, sched,
+                                         detector="es")
+    assert not rep.ok
+    mistakes = false_positive_count(eng.trace, "p0", "p2", sched,
+                                    detector="es")
+    assert mistakes > 10   # unbounded flapping, would grow with run length
+
+
+def test_consensus_terminates_on_mere_diamond_s():
+    """The Chandra–Toueg bound: ◇S + majority suffices, even while most
+    correct processes are suspected forever."""
+    eng, sched, mods = build(seed=533, max_time=6000.0)
+    proposals = {pid: f"v{i}" for i, pid in enumerate(PIDS)}
+    eps = setup_consensus(eng, PIDS, mods, proposals)
+    eng.run(stop_when=lambda: all(
+        eng.process(p).crashed or eps[p].decided is not None for p in PIDS))
+    res = check_consensus(eng.trace, PIDS, sched, proposals)
+    assert res.ok, res.format_table()
+
+
+def test_consensus_with_crash_and_diamond_s():
+    crash = CrashSchedule.single("p0", 40.0)
+    eng, sched, mods = build(seed=534, crash=crash, max_time=8000.0)
+    proposals = {pid: f"v{i}" for i, pid in enumerate(PIDS)}
+    eps = setup_consensus(eng, PIDS, mods, proposals)
+    eng.run(stop_when=lambda: all(
+        eng.process(p).crashed or eps[p].decided is not None for p in PIDS))
+    res = check_consensus(eng.trace, PIDS, sched, proposals)
+    assert res.ok, res.format_table()

@@ -1,0 +1,44 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+
+
+def test_starts_at_zero_by_default():
+    assert Clock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert Clock(start=5.5).now == 5.5
+
+
+def test_advance_moves_forward():
+    c = Clock()
+    c.advance_to(3.0)
+    assert c.now == 3.0
+
+
+def test_advance_to_same_time_is_allowed():
+    c = Clock(start=2.0)
+    c.advance_to(2.0)
+    assert c.now == 2.0
+
+
+def test_advance_backwards_raises():
+    c = Clock(start=10.0)
+    with pytest.raises(SimulationError):
+        c.advance_to(9.999)
+
+
+def test_many_small_advances_accumulate():
+    c = Clock()
+    for i in range(100):
+        c.advance_to(i * 0.5)
+    assert c.now == 49.5
+
+
+def test_integer_start_becomes_float():
+    c = Clock(start=3)
+    assert isinstance(c.now, float)

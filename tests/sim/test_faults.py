@@ -1,0 +1,62 @@
+"""Tests for crash schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.faults import CrashSchedule
+
+
+def test_none_schedule_is_failure_free():
+    s = CrashSchedule.none()
+    assert s.faulty == frozenset()
+    assert s.last_crash_time() == 0.0
+
+
+def test_single():
+    s = CrashSchedule.single("p", 3.0)
+    assert s.is_faulty("p") and not s.is_faulty("q")
+    assert s.crash_time("p") == 3.0 and s.crash_time("q") is None
+
+
+def test_negative_crash_time_rejected():
+    with pytest.raises(ConfigurationError):
+        CrashSchedule({"p": -1.0})
+
+
+def test_live_at_semantics():
+    s = CrashSchedule.single("p", 5.0)
+    assert s.is_live_at("p", 4.999)
+    assert not s.is_live_at("p", 5.0)
+    assert s.is_live_at("q", 1e9)
+
+
+def test_correct_subset():
+    s = CrashSchedule({"a": 1.0, "c": 2.0})
+    assert s.correct(["a", "b", "c", "d"]) == frozenset({"b", "d"})
+
+
+def test_last_crash_time():
+    s = CrashSchedule({"a": 1.0, "b": 9.0})
+    assert s.last_crash_time() == 9.0
+
+
+def test_random_respects_max_faulty():
+    rng = np.random.default_rng(0)
+    pids = [f"p{i}" for i in range(10)]
+    for _ in range(50):
+        s = CrashSchedule.random(pids, max_faulty=3, horizon=100.0, rng=rng)
+        assert len(s.faulty) <= 3
+        assert all(0 <= t < 100.0 for _, t in s.items())
+
+
+def test_random_is_seed_deterministic():
+    pids = ["a", "b", "c", "d"]
+    s1 = CrashSchedule.random(pids, 2, 50.0, np.random.default_rng(42))
+    s2 = CrashSchedule.random(pids, 2, 50.0, np.random.default_rng(42))
+    assert dict(s1.items()) == dict(s2.items())
+
+
+def test_items_iterates_crashes():
+    s = CrashSchedule({"a": 1.0})
+    assert list(s.items()) == [("a", 1.0)]

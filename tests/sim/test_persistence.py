@@ -1,0 +1,85 @@
+"""Tests for trace save/load round-trips."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.persistence import load_trace, save_trace
+from repro.sim.trace import Trace
+
+
+def sample_trace():
+    t = Trace()
+    clock = {"now": 0.0}
+    t.bind_clock(lambda: clock["now"])
+    clock["now"] = 1.5
+    t.record("state", pid="p", instance="I", state="hungry")
+    clock["now"] = 3.0
+    t.record("suspect", pid="p", target="q", suspected=True, detector="fd")
+    clock["now"] = 9.0
+    t.record("crash", pid="q")
+    return t
+
+
+def test_roundtrip_preserves_records(tmp_path):
+    t = sample_trace()
+    path = tmp_path / "run.jsonl"
+    assert save_trace(t, path, metadata={"seed": 7}) == 3
+    loaded, meta = load_trace(path)
+    assert meta == {"seed": 7}
+    assert len(loaded) == len(t)
+    for a, b in zip(loaded, t):
+        assert (a.time, a.kind, a.pid, dict(a.data)) == \
+               (b.time, b.kind, b.pid, dict(b.data))
+
+
+def test_checkers_work_on_loaded_trace(tmp_path):
+    from repro.oracles.properties import suspicion_series
+
+    path = tmp_path / "run.jsonl"
+    save_trace(sample_trace(), path)
+    loaded, _ = load_trace(path)
+    assert suspicion_series(loaded, "p", "q") == [(3.0, True)]
+    assert loaded.crash_times() == {"q": 9.0}
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+
+
+def test_wrong_schema_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"schema": 99, "records": 0}\n')
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+
+
+def test_truncation_detected(tmp_path):
+    t = sample_trace()
+    path = tmp_path / "run.jsonl"
+    save_trace(t, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")   # drop last record
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+
+
+def test_real_run_roundtrip(tmp_path):
+    """Save a genuine simulation trace and re-run a checker on it."""
+    from repro.dining.spec import check_wait_freedom
+    from repro.graphs import pair_graph
+    from tests.dining.helpers import INSTANCE, run_dining
+
+    g = pair_graph("a", "b")
+    eng, sched, _, _ = run_dining(g, seed=77, max_time=400.0)
+    live = check_wait_freedom(eng.trace, g, INSTANCE, sched, eng.now,
+                              grace=60.0)
+    path = tmp_path / "dining.jsonl"
+    save_trace(eng.trace, path)
+    loaded, _ = load_trace(path)
+    replayed = check_wait_freedom(loaded, g, INSTANCE, sched, eng.now,
+                                  grace=60.0)
+    assert replayed.ok == live.ok
+    assert replayed.sessions == live.sessions

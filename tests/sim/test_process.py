@@ -1,0 +1,147 @@
+"""Unit tests for the process step loop (atomic steps, fairness, crashes)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, CrashedProcessError
+from repro.sim.component import Component, action, receive
+from repro.sim.process import Process
+from repro.types import Message
+
+
+class Ticker(Component):
+    def __init__(self, name="t"):
+        super().__init__(name)
+        self.fired = []
+
+    @action(guard=lambda self: True)
+    def a1(self):
+        self.fired.append("a1")
+
+    @action(guard=lambda self: True)
+    def a2(self):
+        self.fired.append("a2")
+
+    @receive("m")
+    def on_m(self, msg):
+        self.fired.append(f"m:{msg.payload['n']}")
+
+
+def proc_with(component):
+    p = Process("p")
+    p.add_component(component)
+    return p
+
+
+def test_duplicate_component_rejected():
+    p = Process("p")
+    p.add_component(Ticker("x"))
+    with pytest.raises(ConfigurationError):
+        p.add_component(Ticker("x"))
+
+
+def test_unknown_component_lookup_raises():
+    with pytest.raises(ConfigurationError):
+        Process("p").component("nope")
+
+
+def test_step_executes_one_action_only():
+    t = Ticker()
+    p = proc_with(t)
+    p.step()
+    assert len(t.fired) == 1
+
+
+def test_round_robin_rotation_is_weakly_fair():
+    t = Ticker()
+    p = proc_with(t)
+    for _ in range(6):
+        p.step()
+    # Both always-enabled actions fire alternately; neither starves.
+    assert t.fired.count("a1") == 3
+    assert t.fired.count("a2") == 3
+
+
+def test_step_with_no_enabled_action_is_noop():
+    class Idle(Component):
+        @action(guard=lambda self: False)
+        def never(self):
+            raise AssertionError
+
+    p = proc_with(Idle("i"))
+    assert p.step() is None
+
+
+def test_step_returns_qualified_action_name():
+    p = proc_with(Ticker("tick"))
+    assert p.step() == "tick.a1"
+
+
+def test_at_most_one_message_consumed_per_step():
+    t = Ticker()
+    p = proc_with(t)
+    p.deliver(Message("q", "p", "t", "m", payload={"n": 1}))
+    p.deliver(Message("q", "p", "t", "m", payload={"n": 2}))
+    # The receive action is one of three; rotation reaches it once per cycle
+    # and consumes exactly one message then.
+    for _ in range(3):
+        p.step()
+    assert p.inbox_size() == 1
+
+
+def test_messages_consumed_in_arrival_order_per_action():
+    t = Ticker()
+    p = proc_with(t)
+    for n in (1, 2, 3):
+        p.deliver(Message("q", "p", "t", "m", payload={"n": n}))
+    for _ in range(9):
+        p.step()
+    got = [f for f in t.fired if f.startswith("m:")]
+    assert got == ["m:1", "m:2", "m:3"]
+
+
+def test_crashed_process_cannot_step():
+    p = proc_with(Ticker())
+    p.crash(at=1.0)
+    with pytest.raises(CrashedProcessError):
+        p.step()
+
+
+def test_crashed_process_drops_deliveries():
+    p = proc_with(Ticker())
+    p.crash(at=1.0)
+    p.deliver(Message("q", "p", "t", "m", payload={"n": 1}))
+    assert p.inbox_size() == 0
+
+
+def test_crash_records_time():
+    p = proc_with(Ticker())
+    p.crash(at=42.0)
+    assert p.crashed and p.crash_time == 42.0
+
+
+def test_messages_for_other_components_not_consumed():
+    t = Ticker("t")
+    p = proc_with(t)
+    p.deliver(Message("q", "p", "other", "m", payload={"n": 9}))
+    for _ in range(5):
+        p.step()
+    assert p.inbox_size() == 1
+    assert not any(f.startswith("m:") for f in t.fired)
+
+
+def test_steps_taken_counter():
+    p = proc_with(Ticker())
+    for _ in range(4):
+        p.step()
+    assert p.steps_taken == 4
+
+
+def test_interleaving_across_components():
+    a, b = Ticker("a"), Ticker("b")
+    p = Process("p")
+    p.add_component(a)
+    p.add_component(b)
+    for _ in range(12):
+        p.step()
+    # Both components' always-enabled actions got turns.
+    assert len(a.fired) == 6 and len(b.fired) == 6

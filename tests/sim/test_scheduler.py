@@ -1,0 +1,114 @@
+"""Tests for step-scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.scheduler import BurstySteps, GSTSteps, UniformSteps
+
+RNG = np.random.default_rng(0)
+
+
+class TestUniform:
+    def test_range_respected(self):
+        pol = UniformSteps(0.5, 1.5)
+        draws = [pol.next_delay("p", 0.0, RNG) for _ in range(200)]
+        assert all(0.5 <= d <= 1.5 for d in draws)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformSteps(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            UniformSteps(0.0, 1.0)
+
+
+class TestBursty:
+    def test_pauses_occur(self):
+        pol = BurstySteps(pause_prob=0.3, pause_lo=20.0, pause_hi=30.0)
+        draws = [pol.next_delay("p", 0.0, RNG) for _ in range(300)]
+        assert any(d >= 20.0 for d in draws)
+        assert any(d <= 0.6 for d in draws)
+
+    def test_all_delays_finite_positive(self):
+        pol = BurstySteps(pause_prob=0.5)
+        assert all(0 < pol.next_delay("p", 0.0, RNG) < 1e6
+                   for _ in range(300))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstySteps(pause_prob=1.0)
+        with pytest.raises(ConfigurationError):
+            BurstySteps(pause_lo=5.0, pause_hi=1.0)
+
+
+class TestGST:
+    def test_bounded_after_gst(self):
+        pol = GSTSteps(gst=100.0, lo=0.4, hi=1.2)
+        draws = [pol.next_delay("p", 150.0, RNG) for _ in range(200)]
+        assert all(0.4 <= d <= 1.2 for d in draws)
+
+    def test_chaos_before_gst(self):
+        pol = GSTSteps(gst=1000.0, pre_gst_max=50.0, pause_prob=0.5)
+        draws = [pol.next_delay("p", 0.0, RNG) for _ in range(300)]
+        assert max(draws) > 5.0
+
+    def test_pre_gst_stall_cannot_overshoot_far(self):
+        pol = GSTSteps(gst=100.0, pre_gst_max=500.0, pause_prob=1.0)
+        for _ in range(100):
+            d = pol.next_delay("p", 90.0, RNG)
+            assert 90.0 + d <= 100.0 + pol.uniform.hi + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GSTSteps(gst=10.0, pre_gst_max=0.0)
+
+
+def test_engine_integration_bursty_still_fair():
+    """Bursty scheduling slows processes but never stops them."""
+    from repro.sim import Engine, FixedDelays, SimConfig
+    from repro.sim.component import Component, action
+
+    class Ticker(Component):
+        def __init__(self):
+            super().__init__("t")
+            self.n = 0
+
+        @action(guard=lambda self: True)
+        def tick(self):
+            self.n += 1
+
+    eng = Engine(
+        SimConfig(seed=4, max_time=500.0,
+                  step_policy=BurstySteps(pause_prob=0.1)),
+        delay_model=FixedDelays(1.0),
+    )
+    tickers = [eng.add_process(f"p{i}").add_component(Ticker())
+               for i in range(3)]
+    eng.run()
+    assert all(t.n > 50 for t in tickers)
+
+
+def test_engine_integration_policy_is_deterministic():
+    from repro.sim import Engine, FixedDelays, SimConfig
+    from repro.sim.component import Component, action
+
+    class Ticker(Component):
+        def __init__(self):
+            super().__init__("t")
+            self.n = 0
+
+        @action(guard=lambda self: True)
+        def tick(self):
+            self.n += 1
+
+    def world():
+        eng = Engine(
+            SimConfig(seed=5, max_time=200.0,
+                      step_policy=BurstySteps(pause_prob=0.2)),
+            delay_model=FixedDelays(1.0),
+        )
+        t = eng.add_process("p").add_component(Ticker())
+        eng.run()
+        return t.n
+
+    assert world() == world()

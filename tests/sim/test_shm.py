@@ -1,0 +1,60 @@
+"""Tests for the shared-memory register bank."""
+
+from repro.sim.shm import SharedMemory
+
+
+def test_unwritten_reads_default():
+    shm = SharedMemory()
+    assert shm.read("x") is None
+    assert shm.read("x", default=7) == 7
+
+
+def test_write_then_read():
+    shm = SharedMemory()
+    shm.write("x", 42)
+    assert shm.read("x") == 42
+
+
+def test_cas_success():
+    shm = SharedMemory()
+    shm.write("x", 1)
+    assert shm.cas("x", 1, 2)
+    assert shm.read("x") == 2
+
+
+def test_cas_failure_leaves_value():
+    shm = SharedMemory()
+    shm.write("x", 1)
+    assert not shm.cas("x", 99, 2)
+    assert shm.read("x") == 1
+
+
+def test_cas_on_unwritten_register_uses_default():
+    shm = SharedMemory()
+    assert shm.cas("orec", None, "tx1")   # default None matches
+    assert shm.read("orec") == "tx1"
+
+
+def test_tuple_register_names():
+    shm = SharedMemory()
+    shm.write(("val", "counter"), (3, 1))
+    assert shm.read(("val", "counter")) == (3, 1)
+
+
+def test_op_counters():
+    shm = SharedMemory()
+    shm.read("x")
+    shm.write("x", 1)
+    shm.cas("x", 1, 2)
+    shm.cas("x", 99, 3)
+    counts = shm.op_counts()
+    assert counts == {"reads": 1, "writes": 1, "cas_attempts": 2,
+                      "cas_successes": 1}
+
+
+def test_snapshot_is_a_copy():
+    shm = SharedMemory()
+    shm.write("x", 1)
+    snap = shm.snapshot()
+    snap["x"] = 99
+    assert shm.read("x") == 1

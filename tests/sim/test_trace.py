@@ -1,0 +1,135 @@
+"""Tests for trace recording, queries, and interval extraction."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.trace import (
+    Trace,
+    intervals_overlap,
+    overlapping_pairs,
+    state_intervals,
+)
+
+
+def make_trace(rows):
+    """rows: (time, kind, pid, data) tuples."""
+    t = Trace()
+    clock = {"now": 0.0}
+    t.bind_clock(lambda: clock["now"])
+    for time, kind, pid, data in rows:
+        clock["now"] = time
+        t.record(kind, pid=pid, **data)
+    return t
+
+
+def test_empty_trace():
+    t = Trace()
+    assert len(t) == 0 and t.last_time() == 0.0
+
+
+def test_record_stamps_clock_time():
+    t = make_trace([(5.0, "x", "p", {})])
+    assert t.records()[0].time == 5.0
+
+
+def test_records_filter_by_kind_and_pid():
+    t = make_trace([
+        (1.0, "a", "p", {}),
+        (2.0, "b", "p", {}),
+        (3.0, "a", "q", {}),
+    ])
+    assert len(t.records(kind="a")) == 2
+    assert len(t.records(pid="p")) == 2
+    assert len(t.records(kind="a", pid="q")) == 1
+
+
+def test_records_filter_by_predicate():
+    t = make_trace([(1.0, "a", "p", {"v": 1}), (2.0, "a", "p", {"v": 2})])
+    assert len(t.records(where=lambda r: r["v"] > 1)) == 1
+
+
+def test_series_extraction():
+    t = make_trace([(1.0, "s", "p", {"x": "A"}), (4.0, "s", "p", {"x": "B"})])
+    assert t.series("s", "x") == [(1.0, "A"), (4.0, "B")]
+
+
+def test_kinds_histogram():
+    t = make_trace([(1.0, "a", "p", {}), (2.0, "a", "p", {}),
+                    (3.0, "b", "p", {})])
+    assert t.kinds() == {"a": 2, "b": 1}
+
+
+def test_crash_times():
+    t = make_trace([(7.0, "crash", "p", {}), (9.0, "crash", "q", {})])
+    assert t.crash_times() == {"p": 7.0, "q": 9.0}
+
+
+def test_record_getitem_and_get():
+    t = make_trace([(1.0, "a", "p", {"v": 3})])
+    r = t.records()[0]
+    assert r["v"] == 3 and r.get("missing", 0) == 0
+
+
+class TestStateIntervals:
+    def test_basic_closed_interval(self):
+        events = [(0.0, "thinking"), (2.0, "eating"), (5.0, "thinking")]
+        assert state_intervals(events, "eating", 10.0) == [(2.0, 5.0)]
+
+    def test_open_interval_closed_at_end(self):
+        events = [(0.0, "thinking"), (3.0, "eating")]
+        assert state_intervals(events, "eating", 10.0) == [(3.0, 10.0)]
+
+    def test_multiple_intervals(self):
+        events = [(0.0, "e"), (1.0, "x"), (2.0, "e"), (3.0, "x")]
+        assert state_intervals(events, "e", 5.0) == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_never_in_state(self):
+        assert state_intervals([(0.0, "a")], "b", 5.0) == []
+
+    def test_consecutive_same_state_merged(self):
+        events = [(0.0, "e"), (1.0, "e"), (2.0, "x")]
+        assert state_intervals(events, "e", 5.0) == [(0.0, 2.0)]
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert intervals_overlap((0.0, 2.0), (1.0, 3.0))
+
+    def test_touching_does_not_overlap(self):
+        assert not intervals_overlap((0.0, 2.0), (2.0, 3.0))
+
+    def test_disjoint(self):
+        assert not intervals_overlap((0.0, 1.0), (2.0, 3.0))
+
+    def test_containment_overlaps(self):
+        assert intervals_overlap((0.0, 10.0), (3.0, 4.0))
+
+    def test_overlapping_pairs_finds_all(self):
+        xs = [(0.0, 2.0), (5.0, 6.0)]
+        ys = [(1.0, 3.0), (5.5, 7.0)]
+        assert len(overlapping_pairs(xs, ys)) == 2
+
+    @given(
+        a0=st.floats(0, 100), alen=st.floats(0.01, 50),
+        b0=st.floats(0, 100), blen=st.floats(0.01, 50),
+    )
+    def test_overlap_is_symmetric(self, a0, alen, b0, blen):
+        a, b = (a0, a0 + alen), (b0, b0 + blen)
+        assert intervals_overlap(a, b) == intervals_overlap(b, a)
+
+    @given(a0=st.floats(0, 100), alen=st.floats(0.01, 50))
+    def test_interval_overlaps_itself(self, a0, alen):
+        a = (a0, a0 + alen)
+        assert intervals_overlap(a, a)
+
+
+@given(st.lists(
+    st.tuples(st.floats(0, 100), st.sampled_from(["a", "b", "c"])),
+    max_size=30,
+))
+def test_state_intervals_are_disjoint_and_ordered(events):
+    events = sorted(events, key=lambda e: e[0])
+    ivs = state_intervals(events, "a", 200.0)
+    for (s1, e1), (s2, e2) in zip(ivs, ivs[1:]):
+        assert e1 <= s2
+    assert all(s <= e for s, e in ivs)

@@ -1,0 +1,48 @@
+"""Unit tests for shared value types."""
+
+import pytest
+
+from repro.types import DINER_CYCLE, DinerState, Message
+
+
+class TestMessage:
+    def test_uids_are_unique(self):
+        a = Message("p", "q", "t", "k")
+        b = Message("p", "q", "t", "k")
+        assert a.uid != b.uid
+
+    def test_matches_tag_only(self):
+        m = Message("p", "q", "dining", "fork")
+        assert m.matches("dining")
+        assert not m.matches("other")
+
+    def test_matches_tag_and_kind(self):
+        m = Message("p", "q", "dining", "fork")
+        assert m.matches("dining", "fork")
+        assert not m.matches("dining", "req")
+
+    def test_payload_defaults_empty(self):
+        assert dict(Message("p", "q", "t", "k").payload) == {}
+
+    def test_payload_carried(self):
+        m = Message("p", "q", "t", "k", payload={"round": 3})
+        assert m.payload["round"] == 3
+
+    def test_frozen(self):
+        m = Message("p", "q", "t", "k")
+        with pytest.raises(AttributeError):
+            m.sender = "x"  # type: ignore[misc]
+
+
+class TestDinerState:
+    def test_cycle_has_four_phases(self):
+        assert len(DINER_CYCLE) == 4
+
+    def test_cycle_order(self):
+        assert DINER_CYCLE == (
+            DinerState.THINKING, DinerState.HUNGRY,
+            DinerState.EATING, DinerState.EXITING,
+        )
+
+    def test_str_is_value(self):
+        assert str(DinerState.EATING) == "eating"

@@ -1,0 +1,27 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "e1" in out and "e12" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "e99"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "e1"]) == 0
+    out = capsys.readouterr().out
+    assert "[E1]" in out and "PASS" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

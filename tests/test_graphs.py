@@ -1,0 +1,117 @@
+"""Tests for conflict-graph constructors."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.errors import ConfigurationError
+
+
+def test_pair_graph():
+    g = graphs.pair_graph("p", "q")
+    assert set(g.nodes) == {"p", "q"} and g.has_edge("p", "q")
+
+
+def test_ring_structure():
+    g = graphs.ring(5)
+    assert g.number_of_nodes() == 5 and g.number_of_edges() == 5
+    assert all(d == 2 for _, d in g.degree)
+
+
+def test_ring_rejects_small():
+    with pytest.raises(ConfigurationError):
+        graphs.ring(2)
+
+
+def test_clique_structure():
+    g = graphs.clique(4)
+    assert g.number_of_edges() == 6
+    assert sorted(g.nodes) == ["p0", "p1", "p2", "p3"]
+
+
+def test_star_structure():
+    g = graphs.star(4)
+    assert g.degree["hub"] == 4
+    assert all(g.degree[leaf] == 1 for leaf in g.nodes if leaf != "hub")
+
+
+def test_path_structure():
+    g = graphs.path(4)
+    assert g.number_of_edges() == 3
+    assert nx.is_connected(g)
+
+
+def test_grid_structure():
+    g = graphs.grid(3, 4)
+    assert g.number_of_nodes() == 12
+    # Interior/edge/corner degree pattern of a 4-neighbour grid.
+    assert g.number_of_edges() == 3 * 3 + 4 * 2  # rows*(cols-1)+cols*(rows-1)
+
+
+def test_grid_node_attributes():
+    g = graphs.grid(2, 2)
+    assert g.nodes["n1_0"]["row"] == 1 and g.nodes["n1_0"]["col"] == 0
+
+
+def test_grid_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        graphs.grid(0, 3)
+
+
+def test_random_graph_connected():
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        g = graphs.random_graph(8, 0.1, rng)
+        assert nx.is_connected(g)
+
+
+def test_random_graph_probability_bounds():
+    with pytest.raises(ConfigurationError):
+        graphs.random_graph(3, 1.5, np.random.default_rng(0))
+
+
+def test_random_graph_full_probability_is_clique():
+    g = graphs.random_graph(5, 1.0, np.random.default_rng(0))
+    assert g.number_of_edges() == 10
+
+
+def test_neighbors_map_sorted_and_stable():
+    g = graphs.ring(4)
+    nm = graphs.neighbors_map(g)
+    assert list(nm) == sorted(g.nodes)
+    assert all(ns == sorted(ns) for ns in nm.values())
+
+
+def test_validate_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        graphs.validate_conflict_graph(nx.Graph())
+
+
+def test_validate_rejects_self_loops():
+    g = nx.Graph()
+    g.add_edge("a", "a")
+    with pytest.raises(ConfigurationError):
+        graphs.validate_conflict_graph(g)
+
+
+def test_edge_list_canonical():
+    g = nx.Graph()
+    g.add_edge("b", "a")
+    g.add_edge("c", "a")
+    assert graphs.edge_list(g) == [("a", "b"), ("a", "c")]
+
+
+@given(n=st.integers(3, 12))
+def test_ring_is_2_regular_cycle(n):
+    g = graphs.ring(n)
+    assert nx.is_connected(g)
+    assert all(d == 2 for _, d in g.degree)
+
+
+@given(n=st.integers(1, 10), p=st.floats(0.0, 1.0))
+def test_random_graph_node_count(n, p):
+    g = graphs.random_graph(n, p, np.random.default_rng(0))
+    assert g.number_of_nodes() == n

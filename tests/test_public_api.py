@@ -1,0 +1,31 @@
+"""The documented public surface stays importable and coherent."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_snippet_from_docstring():
+    """The example in the package docstring must actually run."""
+    from repro.core import build_full_extraction
+    from repro.experiments.common import build_system, wf_box
+
+    system = build_system(["p", "q"], seed=1, max_time=300.0)
+    detectors, _ = build_full_extraction(system.engine, ["p", "q"],
+                                         wf_box(system))
+    system.engine.run()
+    assert detectors["p"].suspects() <= {"q"}
+
+
+def test_exception_hierarchy():
+    assert issubclass(repro.SimulationError, repro.ReproError)
+    assert issubclass(repro.InvariantViolation, repro.ReproError)
+    assert issubclass(repro.SpecificationViolation, repro.ReproError)
+    assert issubclass(repro.ConfigurationError, repro.ReproError)
