@@ -1,0 +1,305 @@
+"""Seeded chaos campaigns: randomized fault schedules, checked invariants.
+
+A chaos *campaign* runs ``campaigns`` independent dining scenarios, each
+derived deterministically from one 32-bit *run seed*: the run seed alone
+fixes the topology, algorithm, client workload, crash schedule, link-fault
+rates, partition window, and adversary rule (drawn inside
+:func:`build_run`), and also seeds the simulation itself.  Per run, four
+invariants are checked with the existing trace checkers:
+
+* **wait-freedom** — every correct hungry diner eventually eats
+  (:func:`repro.dining.spec.check_wait_freedom`);
+* **◇WX** — every exclusion violation is *oracle-justified*: simultaneous
+  eating happens only when a session starts under a ◇P mistake, so once
+  mistakes stop (eventual accuracy, checked separately) violations stop —
+  a finite-run check robust to legitimately late oracle mistakes;
+* **◇P accuracy / completeness** — the box oracle converges on the truth
+  (:mod:`repro.oracles.properties`).
+
+Because a run is a pure function of its run seed plus the campaign knobs,
+any failure reproduces deterministically: the verdict carries a ready
+``repro chaos --replay <run_seed> ...`` command that rebuilds and re-runs
+exactly that scenario, bit for bit.  The CLI exposes campaigns as
+``repro chaos --campaigns N --seed S`` (JSON summary with ``--json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, ScenarioReport, parse_graph
+from repro.sim.faults import CrashSchedule
+
+
+def fanout_seeds(base_seed: int, n: int) -> list[int]:
+    """Derive ``n`` independent 32-bit run seeds from one base seed.
+
+    Shared by ``repro sweep`` and ``repro chaos``: the fanout is stable
+    across code versions (``SeedSequence`` keying), so campaign N of base
+    seed S always names the same run.
+    """
+    if n <= 0:
+        return []
+    state = np.random.SeedSequence(int(base_seed)).generate_state(n)
+    return [int(s) for s in state]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Campaign-level knobs: how many runs, and how hostile each may get."""
+
+    campaigns: int = 20
+    seed: int = 0
+    graphs: Sequence[str] = ("ring:3", "ring:4", "path:4", "star:3")
+    algorithms: Sequence[str] = ("wf-ewx",)
+    clients: Sequence[str] = ("eager:2", "periodic")
+    drop_max: float = 0.3
+    duplicate_max: float = 0.1
+    partition_prob: float = 0.5
+    partition_max_len: float = 180.0
+    max_faulty: int = 1
+    slow_prob: float = 0.3
+    gst: float = 120.0
+    max_time: float = 900.0
+    #: End-of-run allowance for still-pending hunger (wait-freedom is a
+    #: liveness property; under heavy loss honest service latency spans a
+    #: few retransmission round-trips, so this is larger than the
+    #: clean-network default).
+    grace: float = 250.0
+    #: Retransmit policy for chaos runs: snappier than the transport
+    #: default so recovery timescales fit inside ``max_time``.
+    rto_initial: float = 6.0
+    rto_max: float = 45.0
+    #: With the transport the paper's channel assumptions hold and every
+    #: invariant must pass; ``transport=False`` exposes raw lossy channels
+    #: to the algorithms (negative testing — expect failures).
+    transport: bool = True
+    oracle: str = "hb"
+
+    def __post_init__(self) -> None:
+        for name in ("drop_max", "duplicate_max", "partition_prob",
+                     "slow_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability, got {value}")
+        if self.max_time <= 0:
+            raise ConfigurationError("max_time must be positive")
+
+    def cli_flags(self) -> str:
+        """The non-default flags needed to reproduce runs of this config."""
+        default = ChaosConfig()
+        flags = []
+        for name, flag in (("drop_max", "--drop-max"),
+                           ("duplicate_max", "--duplicate-max"),
+                           ("partition_prob", "--partition-prob"),
+                           ("max_faulty", "--max-faulty"),
+                           ("slow_prob", "--slow-prob"),
+                           ("max_time", "--max-time")):
+            value = getattr(self, name)
+            if value != getattr(default, name):
+                flags.append(f"{flag} {value}")
+        if not self.transport:
+            flags.append("--no-transport")
+        return " ".join(flags)
+
+
+def build_run(run_seed: int, cfg: ChaosConfig) -> Scenario:
+    """The scenario for one chaos run — a pure function of ``run_seed``.
+
+    All randomization is drawn from a generator seeded with ``run_seed``
+    in a fixed order, so the same seed (under the same config knobs)
+    always yields the same scenario; the scenario's own ``seed`` is the
+    run seed too, so the simulation replays identically as well.
+    """
+    rng = np.random.default_rng(int(run_seed))
+    graph_spec = str(rng.choice(list(cfg.graphs)))
+    algorithm = str(rng.choice(list(cfg.algorithms)))
+    client = str(rng.choice(list(cfg.clients)))
+    pids = sorted(parse_graph(graph_spec).nodes)
+
+    drop = float(rng.uniform(0.0, cfg.drop_max))
+    duplicate = float(rng.uniform(0.0, cfg.duplicate_max))
+
+    partition: Optional[dict[str, Any]] = None
+    if rng.random() < cfg.partition_prob and len(pids) >= 2:
+        side_size = int(rng.integers(1, len(pids)))
+        side = [pids[int(i)] for i in
+                rng.choice(len(pids), size=side_size, replace=False)]
+        start = float(rng.uniform(0.1, 0.45) * cfg.max_time)
+        length = float(rng.uniform(30.0, cfg.partition_max_len))
+        partition = {"side": sorted(side), "start": start,
+                     "end": start + length}
+
+    crashes = {
+        pid: t for pid, t in CrashSchedule.random(
+            pids, cfg.max_faulty, 0.6 * cfg.max_time, rng).items()
+    }
+
+    slow: Optional[dict[str, Any]] = None
+    if rng.random() < cfg.slow_prob:
+        slow = {
+            "endpoint": str(rng.choice(pids)),
+            "factor": float(rng.uniform(1.5, 4.0)),
+            "extra_max": float(rng.uniform(0.0, 15.0)),
+            "until": cfg.gst + 0.3 * cfg.max_time,
+        }
+
+    return Scenario(
+        name=f"chaos-{run_seed}",
+        graph=graph_spec,
+        algorithm=algorithm,
+        oracle=cfg.oracle,
+        client=client,
+        crashes=crashes,
+        seed=int(run_seed),
+        gst=cfg.gst,
+        max_time=cfg.max_time,
+        grace=cfg.grace,
+        drop=drop,
+        duplicate=duplicate,
+        partition=partition,
+        transport=({"rto_initial": cfg.rto_initial, "rto_max": cfg.rto_max}
+                   if cfg.transport else False),
+        slow=slow,
+    )
+
+
+@dataclass
+class RunVerdict:
+    """Outcome of one chaos run: invariant failures plus a replay recipe."""
+
+    index: int
+    run_seed: int
+    scenario: Scenario
+    report: ScenarioReport
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def replay_command(self, cfg: ChaosConfig) -> str:
+        flags = cfg.cli_flags()
+        return ("python -m repro chaos --replay "
+                f"{self.run_seed}{' ' + flags if flags else ''}")
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "run_seed": self.run_seed,
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "graph": self.scenario.graph,
+            "algorithm": self.scenario.algorithm,
+            "client": self.scenario.client,
+            "drop": round(self.scenario.drop, 4),
+            "duplicate": round(self.scenario.duplicate, 4),
+            "partition": (dict(self.scenario.partition)
+                          if self.scenario.partition else None),
+            "crashes": dict(self.scenario.crashes),
+            "slow": dict(self.scenario.slow) if self.scenario.slow else None,
+            "messages_sent": self.report.metrics.messages_sent,
+            "messages_dropped": self.report.metrics.messages_dropped,
+            "retransmissions": self.report.metrics.retransmissions,
+            "exclusion_violations": self.report.exclusion.count,
+            "max_hungry_wait": round(self.report.wait_freedom.max_wait, 2),
+        }
+
+
+def check_invariants(report: ScenarioReport, cfg: ChaosConfig) -> list[str]:
+    """The per-run invariant battery; empty list = all good."""
+    failures = []
+    if not report.wait_freedom.ok:
+        failures.append(
+            "wait-freedom: starving "
+            f"{', '.join(report.wait_freedom.starving)}")
+    if not report.violations_justified:
+        failures.append(
+            "eventual-weak-exclusion: unjustified violation — simultaneous "
+            "eating without an oracle mistake at session start")
+    if not report.oracle_accuracy_ok:
+        failures.append("oracle-accuracy: correct process still suspected")
+    if not report.oracle_completeness_ok:
+        failures.append("oracle-completeness: crashed process not suspected")
+    return failures
+
+
+def run_one(index: int, run_seed: int, cfg: ChaosConfig) -> RunVerdict:
+    """Build, run, and judge a single chaos run."""
+    scenario = build_run(run_seed, cfg)
+    report = scenario.run()
+    return RunVerdict(index=index, run_seed=run_seed, scenario=scenario,
+                      report=report, failures=check_invariants(report, cfg))
+
+
+@dataclass
+class CampaignResult:
+    """All verdicts of one campaign plus aggregate accounting."""
+
+    cfg: ChaosConfig
+    verdicts: list[RunVerdict]
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def failed(self) -> list[RunVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "seed": self.cfg.seed,
+            "campaigns": self.cfg.campaigns,
+            "transport": self.cfg.transport,
+            "passed": sum(v.ok for v in self.verdicts),
+            "failed": len(self.failed),
+            "ok": self.ok,
+            "replay": {str(v.run_seed): v.replay_command(self.cfg)
+                       for v in self.failed},
+            "runs": [v.summary() for v in self.verdicts],
+        }
+
+    def render(self) -> str:
+        table = Table(
+            ["run", "seed", "graph", "drop", "part", "crash", "verdict"],
+            title=(f"chaos campaign: {len(self.verdicts)} runs from base seed "
+                   f"{self.cfg.seed} "
+                   f"({'transport' if self.cfg.transport else 'raw links'})"),
+        )
+        for v in self.verdicts:
+            table.add_row([
+                v.index,
+                v.run_seed,
+                v.scenario.graph,
+                f"{v.scenario.drop:.2f}",
+                "yes" if v.scenario.partition else "-",
+                ",".join(sorted(v.scenario.crashes)) or "-",
+                "ok" if v.ok else "; ".join(v.failures),
+            ])
+        lines = [table.render()]
+        for v in self.failed:
+            lines.append(f"replay run {v.index}: {v.replay_command(self.cfg)}")
+        lines.append(
+            f"{sum(v.ok for v in self.verdicts)}/{len(self.verdicts)} passed")
+        return "\n".join(lines)
+
+
+def run_campaign(cfg: ChaosConfig) -> CampaignResult:
+    """Run the whole seeded campaign sequentially (deterministic order)."""
+    verdicts = [
+        run_one(i, run_seed, cfg)
+        for i, run_seed in enumerate(fanout_seeds(cfg.seed, cfg.campaigns))
+    ]
+    return CampaignResult(cfg=cfg, verdicts=verdicts)
+
+
+def replay(run_seed: int, cfg: ChaosConfig) -> RunVerdict:
+    """Re-run one chaos run from its reported seed (same config knobs)."""
+    return run_one(0, int(run_seed), cfg)

@@ -1,10 +1,14 @@
-"""Command-line entry point: list and run the paper's experiments.
+"""Command-line entry point: experiments, scenarios, sweeps, chaos.
 
 Usage::
 
     python -m repro list
     python -m repro run e4
     python -m repro run all
+    python -m repro scenario examples/scenarios/ring5_crash.json
+    python -m repro sweep examples/scenarios/ring5_crash.json --seeds 16
+    python -m repro chaos --campaigns 20 --seed 1 --json
+    python -m repro chaos --replay 2885616951     # reproduce one run
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ def cmd_scenario(path: str) -> int:
 
 
 def cmd_sweep(path: str, seeds: Sequence[int]) -> int:
+    """Run one scenario across ``seeds`` and aggregate the verdicts."""
     from repro.analysis.report import Table
     from repro.analysis.stats import sweep_many
     from repro.scenario import Scenario
@@ -65,6 +70,52 @@ def cmd_sweep(path: str, seeds: Sequence[int]) -> int:
         table.add_row([name, st.summary()])
     print(table.render())
     return 0 if stats["wait_free"].mean == 1.0 else 1
+
+
+def _chaos_config(args) -> "ChaosConfig":
+    from repro.chaos import ChaosConfig
+
+    return ChaosConfig(
+        campaigns=args.campaigns,
+        seed=args.seed,
+        drop_max=args.drop_max,
+        duplicate_max=args.duplicate_max,
+        partition_prob=args.partition_prob,
+        max_faulty=args.max_faulty,
+        slow_prob=args.slow_prob,
+        max_time=args.max_time,
+        transport=not args.no_transport,
+    )
+
+
+def cmd_chaos(args) -> int:
+    """Run a seeded chaos campaign (or replay a single failed run)."""
+    import json
+
+    from repro.chaos import replay, run_campaign
+    from repro.errors import ConfigurationError
+
+    try:
+        cfg = _chaos_config(args)
+    except ConfigurationError as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    if args.replay is not None:
+        verdict = replay(args.replay, cfg)
+        if args.json:
+            print(json.dumps(verdict.summary(), indent=2))
+        else:
+            print(verdict.report.render())
+            status = "ok" if verdict.ok else "; ".join(verdict.failures)
+            print(f"\nreplay of run seed {args.replay}: {status}")
+        return 0 if verdict.ok else 1
+
+    result = run_campaign(cfg)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
 
 
 def cmd_run(names: Sequence[str]) -> int:
@@ -102,18 +153,50 @@ def main(argv: Sequence[str] | None = None) -> int:
                           help="run a declarative scenario from a JSON file")
     scen.add_argument("path", help="path to the scenario JSON")
     swp = sub.add_parser("sweep",
-                         help="run a scenario across a seed range and "
+                         help="run a scenario across a seed fanout and "
                               "aggregate statistics")
     swp.add_argument("path", help="path to the scenario JSON")
     swp.add_argument("--seeds", type=int, default=8,
-                     help="number of seeds (0..N-1, default 8)")
+                     help="number of derived seeds (default 8)")
+    swp.add_argument("--seed", type=int, default=0,
+                     help="base seed the fanout derives from (default 0)")
+    cha = sub.add_parser("chaos",
+                         help="run a seeded randomized fault campaign and "
+                              "check dining/oracle invariants per run")
+    cha.add_argument("--campaigns", type=int, default=20,
+                     help="number of randomized runs (default 20)")
+    cha.add_argument("--seed", type=int, default=0,
+                     help="base seed; each run's seed derives from it")
+    cha.add_argument("--replay", type=int, default=None, metavar="RUN_SEED",
+                     help="re-run exactly one run from its reported seed")
+    cha.add_argument("--drop-max", type=float, default=0.3,
+                     help="max per-run message drop probability")
+    cha.add_argument("--duplicate-max", type=float, default=0.1,
+                     help="max per-run duplication probability")
+    cha.add_argument("--partition-prob", type=float, default=0.5,
+                     help="probability a run gets a partition window")
+    cha.add_argument("--max-faulty", type=int, default=1,
+                     help="max crashed processes per run")
+    cha.add_argument("--slow-prob", type=float, default=0.3,
+                     help="probability a run gets a targeted-delay adversary")
+    cha.add_argument("--max-time", type=float, default=900.0,
+                     help="virtual horizon per run")
+    cha.add_argument("--no-transport", action="store_true",
+                     help="expose raw lossy links to the algorithms "
+                          "(negative testing; expect invariant failures)")
+    cha.add_argument("--json", action="store_true",
+                     help="emit a machine-readable campaign summary")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "scenario":
         return cmd_scenario(args.path)
     if args.command == "sweep":
-        return cmd_sweep(args.path, range(args.seeds))
+        from repro.chaos import fanout_seeds
+
+        return cmd_sweep(args.path, fanout_seeds(args.seed, args.seeds))
+    if args.command == "chaos":
+        return cmd_chaos(args)
     return cmd_run(args.names)
 
 

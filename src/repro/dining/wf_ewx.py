@@ -24,7 +24,26 @@ Per-edge token discipline (the hygienic invariants, enforced and tested):
 * forks start dirty at the lower-id endpoint (an acyclic priority
   orientation);
 * a holder yields a *dirty* fork on request unless eating (cleaning it in
-  transit); a *clean* fork is kept until after the holder eats.
+  transit); a *clean* fork is kept until after the holder eats;
+* a transferred fork lands **clean only at a hungry receiver whose last
+  meal is older than the sender's** (meal-recency rule, below); otherwise
+  it lands dirty.
+
+The meal-recency rule replaces the classic "clean on arrival at the
+requester" convention, which is sound only when every meal consumes all
+of the eater's forks.  The suspicion override breaks that premise: a
+diner may eat while a fork sits at its neighbor, so the neighbor-side
+orientation silently survives the meal, and a later request can land the
+fork clean at the *more recent* eater.  Three such inverted edges close a
+cycle of clean forks among hungry diners — permanent deadlock (first
+reproduced by the chaos runner under heavy retransmission delay, where a
+request token crossed the wire ~270 time units late).  Landing forks
+clean only along the true meal-recency order keeps the blocking relation
+a sub-order of a total order, hence acyclic: deadlock-freedom, and the
+globally oldest hungry diner always wins every shared edge, hence
+starvation-freedom.  Fork transfers carry the sender's last-meal stamp;
+the simulation's event clock serves as the timestamp (a Lamport clock
+would do the same job in a real deployment).
 """
 
 from __future__ import annotations
@@ -52,10 +71,13 @@ class EWXDiner(DinerComponent):
         self.fork: dict[ProcessId, bool] = {}
         self.dirty: dict[ProcessId, bool] = {}
         self.token: dict[ProcessId, bool] = {}
-        #: Edges with an outstanding fork request, mapped to the eating
-        #: session count at request time.  Prevents duplicate requests and
-        #: lets :meth:`on_fork` recognize stale grants (see below).
-        self._requested: dict[ProcessId, int] = {}
+        #: Edges with an outstanding fork request (duplicate suppression).
+        self._requested: set[ProcessId] = set()
+        #: Last-meal stamp ``(has_eaten, begin_time)``; never-eaten ranks
+        #: oldest, ties break by pid (higher pid older, matching the
+        #: initial dirty-at-lower-id orientation).  Travels on every fork
+        #: transfer so :meth:`on_fork` can order the endpoints by recency.
+        self._last_meal: tuple[int, float] = (0, 0.0)
 
     def attached(self) -> None:
         super().attached()
@@ -75,19 +97,20 @@ class EWXDiner(DinerComponent):
         for q in self.neighbors:
             if not self.fork[q] and self.token[q] and q not in self._requested:
                 self.token[q] = False
-                self._requested[q] = self.sessions_eaten
+                self._requested.add(q)
                 self.send(q, self.name, "req")
 
     @action(guard=lambda self: self.state is not DinerState.EATING
             and any(self.token[q] and self.fork[q] and self.dirty[q]
                     for q in self.neighbors))
     def yield_dirty_forks(self) -> None:
-        """Honour requests: a dirty fork goes to the requester (cleaned)."""
+        """Honour requests: a dirty fork goes to the requester, stamped
+        with our meal recency so the receiver can orient it."""
         for q in self.neighbors:
             if self.token[q] and self.fork[q] and self.dirty[q]:
                 self.fork[q] = False
                 self.dirty[q] = False
-                self.send(q, self.name, "fork")
+                self.send(q, self.name, "fork", last_meal=self._last_meal)
 
     @receive("req")
     def on_request(self, msg: Message) -> None:
@@ -96,25 +119,40 @@ class EWXDiner(DinerComponent):
 
     @receive("fork")
     def on_fork(self, msg: Message) -> None:
-        """The edge's fork arrives — clean only if it answers the *current*
-        hunger.
+        """The edge's fork arrives — clean only if we genuinely outrank
+        the sender.
 
-        A clean fork encodes priority: "the holder requested it for the
-        meal it is about to have".  With the suspicion override we may have
-        eaten (and possibly gotten hungry again) before a requested fork
-        arrives.  Keeping such a stale grant clean would hand us priority
-        over a neighbor that ate less recently — corrupting the hygienic
-        precedence order into cycles (clean-fork deadlock) or stranding a
-        clean fork at a thinking process forever.  So the fork lands clean
-        only while we are still hungry in the same session that requested
-        it; otherwise it lands dirty (yieldable on request).
+        A clean fork encodes priority, and it is kept until its holder
+        eats — so a clean landing at the wrong endpoint can block an edge
+        forever.  The sender stamps the transfer with its last-meal
+        recency; the fork lands clean only at a receiver that is hungry
+        *and* ate less recently than the sender (see the module docstring
+        for why weaker, session-local staleness rules admit clean-fork
+        deadlock cycles under the suspicion override).  A non-hungry or
+        more-recently-fed receiver gets it dirty: still usable for its
+        next meal, but yieldable on request.
         """
         q = msg.sender
+        theirs = tuple(msg.payload.get("last_meal", (0, 0.0)))
         fresh = (self.state is DinerState.HUNGRY
-                 and self._requested.get(q) == self.sessions_eaten)
+                 and self._outranks(q, theirs))
         self.fork[q] = True
         self.dirty[q] = not fresh
-        self._requested.pop(q, None)
+        self._requested.discard(q)
+
+    def _outranks(self, q: ProcessId, their_meal: tuple[int, float]) -> bool:
+        """Is our last meal older than ``q``'s (higher dining priority)?
+
+        Never-eaten outranks has-eaten; among equals, earlier meal wins;
+        exact ties break toward the higher pid, matching the initial
+        orientation (lower id starts with the dirty fork, i.e. junior).
+        """
+        mine = self._last_meal
+        if mine[0] != their_meal[0]:
+            return mine[0] < their_meal[0]
+        if mine[1] != their_meal[1]:
+            return mine[1] < their_meal[1]
+        return self.pid > q
 
     @action(guard=lambda self: self.state is DinerState.HUNGRY
             and all(self.fork[q] or self.suspect(q) for q in self.neighbors))
@@ -134,6 +172,10 @@ class EWXDiner(DinerComponent):
         for q in self.neighbors:
             if self.fork[q]:
                 self.dirty[q] = True  # eating dirties every held fork
+        # Becoming the most recent eater demotes us below every neighbor;
+        # for forks we do not hold (suspicion-override edges) the stamp
+        # comparison in on_fork applies the demotion when they next arrive.
+        self._last_meal = (1, float(self.process.env_now()))
         self._set_state(DinerState.EATING)
 
     # -- diagnostics -------------------------------------------------------------

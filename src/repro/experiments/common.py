@@ -17,7 +17,9 @@ from repro.oracles.base import OracleModule
 from repro.oracles.perfect import PerfectDetector
 from repro.sim.engine import Engine, SimConfig
 from repro.sim.faults import CrashSchedule
-from repro.sim.network import PartialSynchronyDelays
+from repro.sim.link_faults import LinkFaultModel
+from repro.sim.network import DelayModel, PartialSynchronyDelays
+from repro.sim.transport import ReliableTransport, RetransmitPolicy
 from repro.types import ProcessId, Time
 
 
@@ -50,6 +52,7 @@ class System:
     schedule: CrashSchedule
     box_modules: dict[ProcessId, OracleModule]
     provider: SuspicionProvider
+    transport: "ReliableTransport | None" = None
 
 
 def build_system(
@@ -63,16 +66,31 @@ def build_system(
     heartbeat_period: int = 4,
     initial_timeout: int = 10,
     oracle: str = "hb",
+    delay_model: "DelayModel | None" = None,
+    fault_model: "LinkFaultModel | None" = None,
+    transport: "bool | RetransmitPolicy" = False,
 ) -> System:
     """Engine + per-process box-internal oracle (``"hb"`` heartbeat ◇P or
-    ``"perfect"`` P substrate) + the suspicion provider dining boxes use."""
+    ``"perfect"`` P substrate) + the suspicion provider dining boxes use.
+
+    ``delay_model`` overrides the default GST channel model (e.g. to wrap
+    it in adversarial :class:`~repro.sim.adversary.TargetedDelays`).
+    ``fault_model`` makes the wire fair-lossy; pass ``transport=True`` (or
+    a :class:`~repro.sim.transport.RetransmitPolicy`) to restore reliable
+    channels over it, so algorithms keep their Section 4 assumptions.
+    """
     schedule = crash or CrashSchedule.none()
     engine = Engine(
         SimConfig(seed=seed, max_time=max_time),
-        delay_model=PartialSynchronyDelays(gst=gst, delta=delta,
-                                           pre_gst_max=pre_gst_max),
+        delay_model=delay_model or PartialSynchronyDelays(
+            gst=gst, delta=delta, pre_gst_max=pre_gst_max),
         crash_schedule=schedule,
+        fault_model=fault_model,
     )
+    installed: ReliableTransport | None = None
+    if transport:
+        policy = transport if isinstance(transport, RetransmitPolicy) else None
+        installed = ReliableTransport(policy).install(engine)
     for pid in pids:
         engine.add_process(pid)
     if oracle == "hb":
@@ -96,7 +114,7 @@ def build_system(
         return lambda q: module.suspected(q)
 
     return System(engine=engine, pids=list(pids), schedule=schedule,
-                  box_modules=modules, provider=provider)
+                  box_modules=modules, provider=provider, transport=installed)
 
 
 def wf_box(system: System) -> Callable[[str, nx.Graph], DiningInstance]:

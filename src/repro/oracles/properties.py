@@ -39,6 +39,26 @@ def suspicion_series(
     ]
 
 
+def suspected_at(
+    trace: Trace,
+    owner: ProcessId,
+    target: ProcessId,
+    t: Time,
+    detector: str | None = None,
+) -> bool:
+    """Was ``target`` suspected by ``owner``'s module at time ``t``?
+
+    Replays the suspicion transitions up to and including ``t``; before the
+    first transition the module's initial state (not suspected) applies.
+    """
+    value = False
+    for when, suspected in suspicion_series(trace, owner, target, detector):
+        if when > t:
+            break
+        value = suspected
+    return value
+
+
 @dataclass(frozen=True)
 class PairVerdict:
     """Verdict for one (owner, target) monitoring relation."""

@@ -16,11 +16,21 @@ Downstream users rarely want to wire engines by hand; a
         "seed": 7,
         "gst": 120.0,
         "max_time": 2000.0,
+        # optional link faults (see docs/fault_model.md):
+        "drop": 0.15,                 # per-message loss probability
+        "duplicate": 0.05,            # per-message duplication probability
+        "partition": {"side": ["p0", "p1"], "start": 300.0, "end": 450.0},
+        "transport": True,            # reliable transport over the faults
+                                      # (default: auto — on iff faults set)
+        # optional targeted adversary (extra delay on matching messages):
+        "slow": {"kind": "ping", "factor": 4.0, "until": 800.0},
     }).run()
 
 — and ``run()`` returns a :class:`ScenarioReport` bundling the
-wait-freedom, exclusion, and fairness verdicts plus run metrics.  The CLI
-exposes it as ``repro scenario path/to/file.json``.
+wait-freedom, exclusion, fairness, and box-oracle (◇P) verdicts plus run
+metrics.  The CLI exposes it as ``repro scenario path/to/file.json``; the
+chaos runner (:mod:`repro.chaos`) generates randomized scenarios through
+this same front door so every chaos run replays from its seed.
 """
 
 from __future__ import annotations
@@ -45,12 +55,23 @@ from repro.dining.spec import (
     WaitFreedomReport,
     check_exclusion,
     check_wait_freedom,
+    state_series,
 )
 from repro.dining.wf_ewx import WaitFreeEWXDining
 from repro.errors import ConfigurationError
 from repro.experiments.common import build_system
+from repro.oracles.properties import (
+    check_eventual_strong_accuracy,
+    check_strong_completeness,
+    suspected_at,
+)
+from repro.sim import adversary
 from repro.sim.faults import CrashSchedule
+from repro.types import DinerState
+from repro.sim.link_faults import LinkFaultModel, Partition
 from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.sim.network import PartialSynchronyDelays
+from repro.sim.transport import RetransmitPolicy
 
 INSTANCE = "SCENARIO"
 
@@ -79,6 +100,20 @@ def parse_graph(spec: str) -> nx.Graph:
     raise ConfigurationError(f"unknown graph kind {kind!r}")
 
 
+def _violation_justified(trace, violation) -> bool:
+    """Did either endpoint's current eating session begin under suspicion
+    of the other?  (The ◇WX mechanism: simultaneous eating is only ever
+    enabled by an oracle mistake — see ScenarioReport.violations_justified.)
+    """
+    for eater, peer in ((violation.u, violation.v), (violation.v, violation.u)):
+        begins = [t for t, s in state_series(trace, INSTANCE, eater)
+                  if s == DinerState.EATING.value and t <= violation.start]
+        if begins and suspected_at(trace, eater, peer, max(begins),
+                                   detector="boxfd"):
+            return True
+    return False
+
+
 @dataclass
 class ScenarioReport:
     """Bundle of verdicts for one scenario run."""
@@ -89,10 +124,27 @@ class ScenarioReport:
     fairness: FairnessReport
     metrics: RunMetrics
     end_time: float
+    #: Box-oracle (◇P substrate) verdicts: eventual strong accuracy and
+    #: strong completeness, checked from the trace over the whole run.
+    oracle_accuracy_ok: bool = True
+    oracle_completeness_ok: bool = True
+    #: The ◇WX mechanism check: every exclusion violation must be
+    #: *oracle-justified* — at least one endpoint's eating session began
+    #: while it suspected the other.  (The later entrant cannot hold the
+    #: shared fork, since forks never leave an eater, so an unjustified
+    #: violation means the dining layer itself double-granted an edge.)
+    #: Unlike a fixed convergence deadline this is robust to legitimate
+    #: late ◇P mistakes, which become rarer but may occur arbitrarily
+    #: deep into a finite run.
+    violations_justified: bool = True
 
     @property
     def ok(self) -> bool:
         return self.wait_freedom.ok
+
+    def eventually_exclusive_by(self, t: float) -> bool:
+        """◇WX convergence test: did all exclusion violations end by ``t``?"""
+        return self.exclusion.eventually_exclusive_by(t)
 
     def render(self) -> str:
         t = Table(["property", "value"], title=f"scenario: {self.name}")
@@ -102,8 +154,14 @@ class ScenarioReport:
         t.add_row(["exclusion violations", self.exclusion.count])
         t.add_row(["last violation ends", self.exclusion.last_violation_end])
         t.add_row(["perpetually exclusive", self.exclusion.perpetual_ok])
+        t.add_row(["oracle accuracy ok", self.oracle_accuracy_ok])
+        t.add_row(["oracle completeness ok", self.oracle_completeness_ok])
+        t.add_row(["violations justified", self.violations_justified])
         t.add_row(["worst overtaking", self.fairness.worst_overall()])
         t.add_row(["messages sent", self.metrics.messages_sent])
+        t.add_row(["messages dropped", self.metrics.messages_dropped])
+        t.add_row(["messages duplicated", self.metrics.messages_duplicated])
+        t.add_row(["retransmissions", self.metrics.retransmissions])
         t.add_row(["virtual time", self.end_time])
         sessions = ", ".join(
             f"{p}:{n}" for p, n in sorted(self.wait_freedom.sessions.items())
@@ -125,6 +183,22 @@ class Scenario:
     gst: float = 120.0
     max_time: float = 2000.0
     grace: float = 120.0
+    #: Link faults (docs/fault_model.md): per-message loss/duplication
+    #: probabilities and an optional partition window
+    #: ``{"side": [pids], "start": t0, "end": t1}``.
+    drop: float = 0.0
+    duplicate: float = 0.0
+    partition: Optional[Mapping[str, Any]] = None
+    #: Reliable transport over the faulty wire.  ``None`` = auto: installed
+    #: exactly when link faults are configured, so algorithms keep their
+    #: Section 4 channel assumptions.  ``False`` exposes raw faults to the
+    #: algorithms (chaos/negative testing).  A mapping is passed through as
+    #: :class:`~repro.sim.transport.RetransmitPolicy` keywords, e.g.
+    #: ``{"rto_initial": 6.0, "rto_max": 45.0}``.
+    transport: Optional[bool | Mapping[str, float]] = None
+    #: Targeted delay adversary: ``{"kind"|"endpoint"|"tag_prefix": ...,
+    #: "factor": f, "extra_max": m, "until": t}`` (see repro.sim.adversary).
+    slow: Optional[Mapping[str, Any]] = None
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -168,6 +242,55 @@ class Scenario:
                                   rng=engine.rng.stream(f"client:{pid}"))
         raise ConfigurationError(f"unknown client kind {self.client!r}")
 
+    def _fault_model(self, pids) -> Optional[LinkFaultModel]:
+        partitions = []
+        if self.partition is not None:
+            spec = dict(self.partition)
+            unknown = set(spec) - {"side", "start", "end"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown partition keys: {sorted(unknown)}")
+            side = set(spec.get("side", ()))
+            bad = side - set(pids)
+            if bad:
+                raise ConfigurationError(
+                    f"partition side names unknown processes: {sorted(bad)}")
+            partitions.append(Partition.of(side, float(spec["start"]),
+                                           float(spec["end"])))
+        if not (self.drop or self.duplicate or partitions):
+            return None
+        return LinkFaultModel(drop=self.drop, duplicate=self.duplicate,
+                              partitions=partitions)
+
+    def _delay_model(self):
+        """The channel model, wrapped in a targeted adversary if ``slow``."""
+        # Same channel constants build_system would pick on its own, so a
+        # scenario with no adversary behaves exactly as before.
+        base = PartialSynchronyDelays(gst=self.gst, delta=1.5, pre_gst_max=30.0)
+        if self.slow is None:
+            return base
+        spec = dict(self.slow)
+        preds = []
+        if "kind" in spec:
+            preds.append(adversary.by_kind(spec.pop("kind")))
+        if "endpoint" in spec:
+            preds.append(adversary.by_endpoint(spec.pop("endpoint")))
+        if "tag_prefix" in spec:
+            preds.append(adversary.by_tag_prefix(spec.pop("tag_prefix")))
+        if not preds:
+            raise ConfigurationError(
+                "slow needs a kind/endpoint/tag_prefix selector")
+        until = spec.pop("until", None)
+        rule = adversary.DelayRule(
+            predicate=lambda m: all(p(m) for p in preds),
+            factor=float(spec.pop("factor", 1.0)),
+            extra_max=float(spec.pop("extra_max", 0.0)),
+            until=None if until is None else float(until),
+        )
+        if spec:
+            raise ConfigurationError(f"unknown slow keys: {sorted(spec)}")
+        return adversary.TargetedDelays(base, [rule])
+
     # -- running ------------------------------------------------------------------
 
     def run(self) -> ScenarioReport:
@@ -176,9 +299,17 @@ class Scenario:
         bad = set(self.crashes) - set(pids)
         if bad:
             raise ConfigurationError(f"crashes name unknown processes: {bad}")
+        fault_model = self._fault_model(pids)
+        use_transport: Any = (self.transport if self.transport is not None
+                              else fault_model is not None)
+        if isinstance(use_transport, Mapping):
+            use_transport = RetransmitPolicy(
+                **{k: float(v) for k, v in use_transport.items()})
         system = build_system(
             pids, seed=self.seed, gst=self.gst, max_time=self.max_time,
             crash=CrashSchedule(dict(self.crashes)), oracle=self.oracle,
+            delay_model=self._delay_model(), fault_model=fault_model,
+            transport=use_transport,
         )
         instance = self._instance(graph, system)
         diners = instance.attach(system.engine)
@@ -187,15 +318,24 @@ class Scenario:
                 self._client(pid, diners[pid], system.engine))
         system.engine.run()
         eng = system.engine
+        accuracy = check_eventual_strong_accuracy(
+            eng.trace, pids, pids, system.schedule, detector="boxfd")
+        completeness = check_strong_completeness(
+            eng.trace, pids, pids, system.schedule, detector="boxfd")
+        exclusion = check_exclusion(eng.trace, graph, INSTANCE,
+                                    system.schedule, eng.now)
         return ScenarioReport(
             name=self.name,
             wait_freedom=check_wait_freedom(eng.trace, graph, INSTANCE,
                                             system.schedule, eng.now,
                                             grace=self.grace),
-            exclusion=check_exclusion(eng.trace, graph, INSTANCE,
-                                      system.schedule, eng.now),
+            exclusion=exclusion,
             fairness=measure_fairness(eng.trace, graph, INSTANCE, eng.now,
                                       system.schedule),
             metrics=collect_metrics(eng),
             end_time=eng.now,
+            oracle_accuracy_ok=accuracy.ok,
+            oracle_completeness_ok=completeness.ok,
+            violations_justified=all(
+                _violation_justified(eng.trace, v) for v in exclusion.violations),
         )

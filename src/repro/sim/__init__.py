@@ -12,6 +12,12 @@ reproduction.  It implements the system model of the paper's Section 4:
 * a **discrete global clock** that is a conceptual device only: algorithm
   code cannot read it, but delay models and trace checkers can.
 
+Beyond the paper's model, the substrate can also inject link faults
+(:mod:`repro.sim.link_faults`: drops, duplication, partitions over
+fair-lossy links) and recover reliability by retransmission
+(:mod:`repro.sim.transport`), so the same algorithms can be stressed
+under realistic network failure — see ``docs/fault_model.md``.
+
 Determinism: a single master seed fans out into independent per-purpose RNG
 streams (:mod:`repro.sim.rng`), so any run is reproducible bit-for-bit.
 """
@@ -20,6 +26,7 @@ from repro.sim.clock import Clock
 from repro.sim.component import Component, action, receive
 from repro.sim.engine import Engine, SimConfig
 from repro.sim.faults import CrashSchedule
+from repro.sim.link_faults import LinkFaultModel, Partition
 from repro.sim.network import (
     AsynchronousDelays,
     DelayModel,
@@ -30,6 +37,7 @@ from repro.sim.network import (
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace, TraceRecord
+from repro.sim.transport import ReliableTransport, RetransmitPolicy
 
 __all__ = [
     "AsynchronousDelays",
@@ -39,9 +47,13 @@ __all__ = [
     "DelayModel",
     "Engine",
     "FixedDelays",
+    "LinkFaultModel",
     "Network",
     "PartialSynchronyDelays",
+    "Partition",
     "Process",
+    "ReliableTransport",
+    "RetransmitPolicy",
     "RngRegistry",
     "SimConfig",
     "Trace",

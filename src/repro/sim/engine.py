@@ -32,6 +32,7 @@ from typing import Callable, Mapping, Optional
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.clock import Clock
 from repro.sim.faults import CrashSchedule
+from repro.sim.link_faults import LinkFaultModel
 from repro.sim.network import AsynchronousDelays, DelayModel, Network
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
@@ -70,13 +71,15 @@ class Engine:
         config: SimConfig | None = None,
         delay_model: DelayModel | None = None,
         crash_schedule: CrashSchedule | None = None,
+        fault_model: "LinkFaultModel | None" = None,
     ) -> None:
         self.config = config or SimConfig()
         self.clock = Clock()
         self.rng = RngRegistry(self.config.seed)
         self.trace = Trace()
         self.trace.bind_clock(lambda: self.clock.now)
-        self.network = Network(delay_model or AsynchronousDelays())
+        self.network = Network(delay_model or AsynchronousDelays(),
+                               fault_model=fault_model)
         self.network.bind(self)
         self.crash_schedule = crash_schedule or CrashSchedule.none()
         self.processes: dict[ProcessId, Process] = {}
@@ -157,7 +160,8 @@ class Engine:
             if self.events_processed >= self.config.max_events:
                 raise SimulationError(
                     f"event cap exceeded ({self.config.max_events}); "
-                    "runaway simulation?"
+                    "runaway simulation? (infinite action loop, or a "
+                    "retransmission storm — check transport backoff/rto_max)"
                 )
             since_check += 1
             if stop_when is not None and since_check >= check_every_events:
@@ -217,6 +221,24 @@ class Engine:
         if proc is None:
             raise SimulationError(f"message to unknown process {msg.receiver!r}")
         if proc.crashed:
+            return
+        transport = self.network.transport
+        if transport is not None and transport.owns(msg):
+            transport.on_wire_deliver(msg)
+            return
+        self.deliver_payload(msg)
+
+    def deliver_payload(self, msg: Message) -> None:
+        """Hand an application message to its (live) receiver's inbox.
+
+        Called on the direct path for raw-channel runs and by the
+        transport after envelope dedup; either way this is the single
+        point where ``delivered`` counts and ``deliver`` trace rows are
+        produced, so metrics mean the same thing with or without a
+        transport installed.
+        """
+        proc = self.processes.get(msg.receiver)
+        if proc is None or proc.crashed:
             return
         proc.deliver(msg)
         self.network.note_delivered(msg)

@@ -23,6 +23,12 @@ class RunMetrics:
     messages_delivered: int
     messages_by_kind: Mapping[str, int]
     steps_by_process: Mapping[str, int]
+    #: Wire messages lost to link faults (0 on reliable channels).
+    messages_dropped: int = 0
+    #: Wire messages duplicated by link faults.
+    messages_duplicated: int = 0
+    #: Transport retransmissions (0 when no transport is installed).
+    retransmissions: int = 0
 
     @property
     def total_steps(self) -> int:
@@ -41,6 +47,9 @@ class RunMetrics:
             f"events processed    : {self.events_processed}",
             f"messages sent       : {self.messages_sent}",
             f"messages delivered  : {self.messages_delivered}",
+            f"messages dropped    : {self.messages_dropped}",
+            f"messages duplicated : {self.messages_duplicated}",
+            f"retransmissions     : {self.retransmissions}",
             f"total process steps : {self.total_steps}",
             "messages by kind    :",
         ]
@@ -51,6 +60,7 @@ class RunMetrics:
 
 def collect_metrics(engine: "Engine") -> RunMetrics:
     """Snapshot the cost counters of ``engine``."""
+    transport = engine.network.transport
     return RunMetrics(
         virtual_time=engine.clock.now,
         events_processed=engine.events_processed,
@@ -60,4 +70,7 @@ def collect_metrics(engine: "Engine") -> RunMetrics:
         steps_by_process={
             pid: proc.steps_taken for pid, proc in engine.processes.items()
         },
+        messages_dropped=engine.network.dropped,
+        messages_duplicated=engine.network.duplicated,
+        retransmissions=0 if transport is None else transport.retransmissions,
     )

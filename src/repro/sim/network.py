@@ -1,11 +1,22 @@
-"""Reliable, non-FIFO message channels with pluggable delay models.
+"""Message channels with pluggable delay and link-fault models.
 
-Channel semantics follow the paper's Section 4 exactly:
+By default, channel semantics follow the paper's Section 4 exactly:
 
 * **Reliable** — every message sent to a correct process is eventually
   delivered; messages are neither lost, duplicated, nor corrupted.
 * **Non-FIFO** — each message gets an independent random delay, so later
   messages can overtake earlier ones.
+
+Two optional layers relax and then restore that contract:
+
+* a :class:`~repro.sim.link_faults.LinkFaultModel` makes the wire
+  fair-lossy (drops, duplicates, scheduled partitions), composing with
+  any delay model — the fault model picks how many copies survive, the
+  delay model picks when each copy arrives;
+* a :class:`~repro.sim.transport.ReliableTransport`, once installed,
+  carries all application traffic in retransmitted, deduplicated wire
+  envelopes, re-establishing reliable exactly-once delivery over the
+  faulty wire with zero changes to algorithm code.
 
 Delay models encode the synchrony assumptions:
 
@@ -29,6 +40,8 @@ from repro.types import Message, ProcessId, Time
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
+    from repro.sim.link_faults import LinkFaultModel
+    from repro.sim.transport import ReliableTransport
 
 
 class DelayModel(abc.ABC):
@@ -54,25 +67,28 @@ class FixedDelays(DelayModel):
 class AsynchronousDelays(DelayModel):
     """Unbounded delays: lognormal body with occasional heavy stragglers.
 
-    ``straggler_prob`` of messages take an extra uniform(0, straggler_max)
-    delay, modelling arbitrarily slow channels.  All delays are finite
-    (reliability), but no bound is promised to the algorithms.
+    ``median`` is the *median* of the lognormal body (``exp(mu)``); the
+    distribution's mean is larger, ``median * exp(sigma**2 / 2)``, plus the
+    straggler contribution.  ``straggler_prob`` of messages take an extra
+    uniform(0, straggler_max) delay, modelling arbitrarily slow channels.
+    All delays are finite (reliability), but no bound is promised to the
+    algorithms.
     """
 
     def __init__(
         self,
-        mean: Time = 1.0,
+        median: Time = 1.0,
         sigma: float = 0.5,
         straggler_prob: float = 0.05,
         straggler_max: Time = 25.0,
     ) -> None:
-        self.mean = float(mean)
+        self.median = float(median)
         self.sigma = float(sigma)
         self.straggler_prob = float(straggler_prob)
         self.straggler_max = float(straggler_max)
 
     def delay(self, msg: Message, now: Time, rng: np.random.Generator) -> Time:
-        d = float(rng.lognormal(mean=np.log(self.mean), sigma=self.sigma))
+        d = float(rng.lognormal(mean=np.log(self.median), sigma=self.sigma))
         if rng.random() < self.straggler_prob:
             d += float(rng.uniform(0.0, self.straggler_max))
         return max(d, 1e-9)
@@ -106,14 +122,26 @@ class PartialSynchronyDelays(DelayModel):
 
 
 class Network:
-    """Routes messages between processes through the engine's event queue."""
+    """Routes messages between processes through the engine's event queue.
 
-    def __init__(self, delay_model: DelayModel) -> None:
+    ``send`` is the application-level entry point (counted in ``sent``);
+    ``transmit`` is the raw wire below any installed transport, where the
+    optional link-fault model drops, duplicates, or partitions traffic.
+    """
+
+    def __init__(self, delay_model: DelayModel,
+                 fault_model: "LinkFaultModel | None" = None) -> None:
         self.delay_model = delay_model
+        self.fault_model = fault_model
+        #: Installed by :meth:`repro.sim.transport.ReliableTransport.install`.
+        self.transport: "ReliableTransport | None" = None
         self._engine: "Engine | None" = None
         self.sent = 0
         self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
         self.sent_by_kind: dict[str, int] = {}
+        self.dropped_by_kind: dict[str, int] = {}
         #: Optional hook (msg -> None) observed on every send; used by
         #: tests and metrics, never by algorithms.
         self.on_send: Optional[Callable[[Message], None]] = None
@@ -122,7 +150,14 @@ class Network:
         self._engine = engine
 
     def send(self, msg: Message) -> None:
-        """Accept ``msg`` for delayed, reliable, non-FIFO delivery."""
+        """Accept an application message for delayed, non-FIFO delivery.
+
+        With no fault model the channel is reliable (Section 4).  With a
+        fault model but no transport, the wire's faults reach the
+        application — deliberately, for chaos experiments.  With a
+        transport installed, the message is carried reliably over the
+        faulty wire instead.
+        """
         engine = self._engine
         assert engine is not None, "network not bound to an engine"
         self.sent += 1
@@ -134,8 +169,36 @@ class Network:
                 "send", pid=msg.sender, to=msg.receiver, tag=msg.tag,
                 msg_kind=msg.kind, uid=msg.uid,
             )
-        d = self.delay_model.delay(msg, engine.clock.now, engine.rng.stream("network"))
-        engine.schedule_delivery(msg, engine.clock.now + d)
+        if self.transport is not None and not self.transport.owns(msg):
+            self.transport.wrap_and_send(msg)
+        else:
+            self.transmit(msg)
+
+    def transmit(self, msg: Message) -> None:
+        """Put ``msg`` on the raw wire: fault verdict, then delay per copy."""
+        engine = self._engine
+        assert engine is not None, "network not bound to an engine"
+        copies = 1
+        if self.fault_model is not None:
+            fate = self.fault_model.fate(
+                msg, engine.clock.now, engine.rng.stream("link-faults"))
+            if fate.dropped:
+                self.dropped += 1
+                self.dropped_by_kind[msg.kind] = (
+                    self.dropped_by_kind.get(msg.kind, 0) + 1)
+                if engine.config.record_messages:
+                    engine.trace.record(
+                        "drop", pid=msg.sender, to=msg.receiver, tag=msg.tag,
+                        msg_kind=msg.kind, uid=msg.uid, reason=fate.reason,
+                    )
+                return
+            if fate.duplicated:
+                self.duplicated += 1
+            copies = fate.copies
+        rng = engine.rng.stream("network")
+        for _ in range(copies):
+            d = self.delay_model.delay(msg, engine.clock.now, rng)
+            engine.schedule_delivery(msg, engine.clock.now + d)
 
     def note_delivered(self, msg: Message) -> None:
         self.delivered += 1
@@ -143,7 +206,13 @@ class Network:
 
 def mean_delay_estimate(model: DelayModel, now: Time, samples: int = 256,
                         seed: int = 0) -> float:
-    """Monte-Carlo estimate of a model's mean delay at time ``now`` (test aid)."""
+    """Monte-Carlo estimate of a model's *mean* delay at time ``now``.
+
+    Test aid.  Note the estimate is the distribution mean, not the median:
+    for :class:`AsynchronousDelays` it approaches
+    ``median * exp(sigma**2 / 2)`` plus the straggler contribution, not the
+    ``median`` parameter itself.
+    """
     rng = np.random.default_rng(seed)
     probe = Message(sender="a", receiver="b", tag="t", kind="probe")
     return float(np.mean([model.delay(probe, now, rng) for _ in range(samples)]))

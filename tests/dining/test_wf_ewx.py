@@ -230,3 +230,94 @@ class TestStaleGrantRegression:
         b.request_missing_forks()
         b.on_fork(Message("a", "b", "DX:diner", "fork"))
         assert b.fork["a"] and not b.dirty["a"]
+
+
+class TestMealRecencyRule:
+    """The clean/dirty decision on fork arrival follows meal recency: the
+    fork lands clean only at a hungry receiver that has eaten *less
+    recently* than the sender (never-eaten oldest; then earlier last-meal
+    time; pid as a tie-break matching the initial orientation).  Found by
+    the chaos runner: the session-bookkeeping rule this replaces let a
+    late-arriving fork grant priority to the *more* recent eater, closing
+    clean-fork cycles into deadlock (run seed 321059914)."""
+
+    @staticmethod
+    def make_pair(suspect=False):
+        from repro.graphs import pair_graph
+        from tests.conftest import make_engine
+        from repro.dining.wf_ewx import WaitFreeEWXDining
+
+        eng = make_engine()
+        eng.add_process("a")
+        eng.add_process("b")
+        inst = WaitFreeEWXDining("DX", pair_graph("a", "b"),
+                                 lambda pid: (lambda q: suspect))
+        return inst.attach(eng)
+
+    def test_recent_eater_gets_fork_dirty_despite_fresh_request(self):
+        """The chaos-bug shape: b ate (via suspicion), is hungry again,
+        and has a live request outstanding — but a, the fork's sender, has
+        never eaten, so the fork must still land dirty at b."""
+        from repro.types import Message
+
+        diners = self.make_pair(suspect=True)
+        b = diners["b"]
+        b.become_hungry()
+        b.request_missing_forks()
+        b.enter_critical_section()      # eats via suspicion override
+        b.exit_eating()
+        b.finish_exiting()
+        b.become_hungry()
+        b.request_missing_forks()       # fresh request, current session
+        b.on_fork(Message("a", "b", "DX:diner", "fork",
+                          payload={"last_meal": (0, 0.0)}))
+        assert b.fork["a"] and b.dirty["a"]
+
+    def test_older_eater_gets_fork_clean(self):
+        """Symmetric case: the sender ate more recently, so the hungry
+        receiver outranks it and the fork lands clean."""
+        from repro.types import Message
+
+        diners = self.make_pair()
+        b = diners["b"]
+        b.become_hungry()
+        b.request_missing_forks()
+        b.on_fork(Message("a", "b", "DX:diner", "fork",
+                          payload={"last_meal": (1, 50.0)}))
+        assert b.fork["a"] and not b.dirty["a"]
+
+    def test_earlier_meal_time_outranks(self):
+        from repro.types import Message
+
+        diners = self.make_pair(suspect=True)
+        b = diners["b"]
+        b.become_hungry()
+        b.enter_critical_section()      # b's meal at env time 0
+        b.exit_eating()
+        b.finish_exiting()
+        b.become_hungry()
+        b.on_fork(Message("a", "b", "DX:diner", "fork",
+                          payload={"last_meal": (1, 75.0)}))
+        assert b.fork["a"] and not b.dirty["a"]   # b's meal is older
+
+    def test_not_hungry_never_lands_clean(self):
+        from repro.types import Message
+
+        diners = self.make_pair()
+        b = diners["b"]                 # THINKING
+        b.on_fork(Message("a", "b", "DX:diner", "fork",
+                          payload={"last_meal": (1, 10.0)}))
+        assert b.fork["a"] and b.dirty["a"]
+
+    def test_tiebreak_matches_initial_orientation(self):
+        """Two never-eaten diners tie on meal recency; the higher pid
+        counts as older, mirroring the seed state where forks start dirty
+        at the lower pid (which therefore must yield)."""
+        from repro.types import Message
+
+        diners = self.make_pair()
+        b = diners["b"]
+        b.become_hungry()
+        b.on_fork(Message("a", "b", "DX:diner", "fork",
+                          payload={"last_meal": (0, 0.0)}))
+        assert not b.dirty["a"]         # "b" > "a": b outranks, fork clean

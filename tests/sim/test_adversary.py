@@ -77,6 +77,29 @@ class TestTargetedDelays:
                            [DelayRule(by_kind("x"), factor=0.5)])
 
 
+class TestDelayRuleUntilBoundary:
+    """``until`` is an exclusive deadline: a rule covers sends in
+    [0, until) and is dead at exactly ``now == until``."""
+
+    RULE = DelayRule(by_kind("ping"), factor=2.0, until=100.0)
+
+    def test_applies_strictly_before(self):
+        assert self.RULE.applies(msg("ping"), 99.999)
+
+    def test_dead_at_exact_deadline(self):
+        assert not self.RULE.applies(msg("ping"), 100.0)
+
+    def test_dead_after_deadline(self):
+        assert not self.RULE.applies(msg("ping"), 100.001)
+
+    def test_none_means_forever(self):
+        rule = DelayRule(by_kind("ping"), factor=2.0, until=None)
+        assert rule.applies(msg("ping"), 1e12)
+
+    def test_predicate_still_gates_before_deadline(self):
+        assert not self.RULE.applies(msg("fork"), 50.0)
+
+
 def test_slow_process_helper():
     assert slow_process("q", 6.0) == {"q": 6.0}
     with pytest.raises(ConfigurationError):
@@ -126,3 +149,32 @@ class TestOutageDelays:
         for t in (0.0, 130.0, 500.0, 5000.0):
             d = model.delay(msg(), t, RNG)
             assert 0 < d < 1e9
+
+    def test_outages_before_extends_lazily(self):
+        """The schedule materializes only as far as queried, and earlier
+        windows never move when the horizon grows."""
+        from repro.sim.adversary import OutageDelays
+
+        model = OutageDelays(first_outage=100.0, initial_duration=10.0,
+                             recovery=50.0, growth=2.0)
+        early = model.outages_before(200.0)
+        late = model.outages_before(3000.0)
+        assert len(late) > len(early)
+        assert late[:len(early)] == early
+
+    def test_outages_before_is_strict(self):
+        """``t`` itself is excluded: a window starting at exactly ``t``
+        does not count as "before" it."""
+        from repro.sim.adversary import OutageDelays
+
+        model = OutageDelays(first_outage=100.0, initial_duration=10.0,
+                             recovery=50.0, growth=2.0)
+        assert model.outages_before(100.0) == []
+        assert model.outages_before(100.1) == [(100.0, 110.0)]
+
+    def test_outages_before_idempotent(self):
+        from repro.sim.adversary import OutageDelays
+
+        model = OutageDelays(first_outage=100.0, initial_duration=10.0,
+                             recovery=50.0, growth=2.0)
+        assert model.outages_before(1000.0) == model.outages_before(1000.0)

@@ -1,0 +1,214 @@
+"""Tests for the link-fault layer: drops, duplication, partitions, fairness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Engine, FixedDelays, LinkFaultModel, Partition, SimConfig
+from repro.sim.component import Component, action, receive
+from repro.types import Message
+
+RNG = np.random.default_rng(0)
+
+
+def msg(kind="data", sender="a", receiver="b", tag="t"):
+    return Message(sender=sender, receiver=receiver, tag=tag, kind=kind)
+
+
+class TestValidation:
+    def test_probabilities_must_be_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            LinkFaultModel(drop=1.5)
+        with pytest.raises(ConfigurationError):
+            LinkFaultModel(duplicate=-0.1)
+        with pytest.raises(ConfigurationError):
+            LinkFaultModel(drop_by_kind={"ping": 2.0})
+
+    def test_partition_window_must_be_nonempty(self):
+        with pytest.raises(ConfigurationError):
+            Partition.of(["a"], start=10.0, end=10.0)
+        with pytest.raises(ConfigurationError):
+            Partition.of([], start=0.0, end=1.0)
+
+    def test_fairness_floor_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkFaultModel(max_consecutive_drops=0)
+
+
+class TestPartition:
+    def test_severs_only_crossing_traffic_in_window(self):
+        part = Partition.of(["a"], start=10.0, end=20.0)
+        assert part.severs(msg(sender="a", receiver="b"), 15.0)
+        assert part.severs(msg(sender="b", receiver="a"), 15.0)
+        assert not part.severs(msg(sender="b", receiver="c"), 15.0)
+
+    def test_window_boundaries_half_open(self):
+        part = Partition.of(["a"], start=10.0, end=20.0)
+        crossing = msg(sender="a", receiver="b")
+        assert not part.severs(crossing, 9.999)
+        assert part.severs(crossing, 10.0)
+        assert not part.severs(crossing, 20.0)
+
+
+class TestFate:
+    def test_no_faults_means_one_copy(self):
+        fate = LinkFaultModel().fate(msg(), 0.0, RNG)
+        assert fate.copies == 1 and fate.reason is None
+
+    def test_drop_rate_respected(self):
+        model = LinkFaultModel(drop=0.5, max_consecutive_drops=None)
+        fates = [model.fate(msg(), 0.0, RNG) for _ in range(2000)]
+        dropped = sum(f.dropped for f in fates)
+        assert 850 < dropped < 1150
+        assert all(f.reason == "loss" for f in fates if f.dropped)
+
+    def test_duplication_rate_respected(self):
+        model = LinkFaultModel(duplicate=0.3)
+        fates = [model.fate(msg(), 0.0, RNG) for _ in range(2000)]
+        dups = sum(f.duplicated for f in fates)
+        assert 480 < dups < 720
+        assert all(f.copies == 2 for f in fates if f.duplicated)
+
+    def test_drop_by_kind_targets_only_that_kind(self):
+        model = LinkFaultModel(drop_by_kind={"ping": 1.0},
+                               max_consecutive_drops=None)
+        assert model.fate(msg("ping"), 0.0, RNG).dropped
+        assert not model.fate(msg("fork"), 0.0, RNG).dropped
+
+    def test_drop_by_link_is_directional(self):
+        model = LinkFaultModel(drop_by_link={("a", "b"): 1.0},
+                               max_consecutive_drops=None)
+        assert model.fate(msg(sender="a", receiver="b"), 0.0, RNG).dropped
+        assert not model.fate(msg(sender="b", receiver="a"), 0.0, RNG).dropped
+
+    def test_effective_probability_is_max_of_layers(self):
+        model = LinkFaultModel(drop=0.1, drop_by_kind={"ping": 0.6},
+                               drop_by_link={("a", "b"): 0.3})
+        assert model.drop_probability(msg("ping")) == 0.6
+        assert model.drop_probability(msg("fork")) == 0.3
+        assert model.drop_probability(msg("fork", sender="b", receiver="a")) == 0.1
+
+    def test_partition_drop_is_deterministic_and_labelled(self):
+        model = LinkFaultModel(
+            partitions=[Partition.of(["a"], start=0.0, end=100.0)])
+        for _ in range(50):
+            fate = model.fate(msg(sender="a", receiver="b"), 50.0, RNG)
+            assert fate.dropped and fate.reason == "partition"
+        assert not model.fate(msg(sender="a", receiver="b"), 200.0, RNG).dropped
+
+
+class TestFairness:
+    def test_consecutive_random_drops_are_capped(self):
+        model = LinkFaultModel(drop=1.0, max_consecutive_drops=5)
+        fates = [model.fate(msg(), 0.0, RNG) for _ in range(60)]
+        streak = longest = 0
+        for f in fates:
+            streak = streak + 1 if f.dropped else 0
+            longest = max(longest, streak)
+        assert longest == 5
+        assert sum(not f.dropped for f in fates) == 10
+
+    def test_streaks_tracked_per_link(self):
+        model = LinkFaultModel(drop=1.0, max_consecutive_drops=3)
+        for _ in range(3):
+            assert model.fate(msg(sender="a", receiver="b"), 0.0, RNG).dropped
+        # A different link's streak is independent: still dropping.
+        assert model.fate(msg(sender="a", receiver="c"), 0.0, RNG).dropped
+        # The saturated a->b link is forced through.
+        assert not model.fate(msg(sender="a", receiver="b"), 0.0, RNG).dropped
+
+    def test_partition_drops_do_not_consume_fairness_credit(self):
+        model = LinkFaultModel(
+            drop=1.0, max_consecutive_drops=2,
+            partitions=[Partition.of(["a"], start=100.0, end=200.0)])
+        crossing = msg(sender="a", receiver="b")
+        assert model.fate(crossing, 0.0, RNG).dropped   # loss (streak 1)
+        assert model.fate(crossing, 0.0, RNG).dropped   # loss (streak 2)
+        # Inside the window the partition must hold even though the random
+        # streak is saturated.
+        assert model.fate(crossing, 150.0, RNG).reason == "partition"
+        # After the window the saturated streak forces delivery.
+        assert not model.fate(crossing, 250.0, RNG).dropped
+
+
+class Receiver(Component):
+    def __init__(self):
+        super().__init__("rx")
+        self.got = []
+
+    @receive("data")
+    def on_data(self, msg):
+        self.got.append(msg.payload["n"])
+
+
+class Burster(Component):
+    def __init__(self, n):
+        super().__init__("tx")
+        self.n = n
+        self.sent = 0
+
+    @action(guard=lambda self: self.sent < self.n)
+    def fire(self):
+        self.send("b", "rx", "data", n=self.sent)
+        self.sent += 1
+
+
+def lossy_engine(fault_model, seed=1, max_time=400.0):
+    eng = Engine(SimConfig(seed=seed, max_time=max_time),
+                 delay_model=FixedDelays(1.0), fault_model=fault_model)
+    return eng
+
+
+class TestNetworkIntegration:
+    def test_raw_channel_loses_messages_and_counts_them(self):
+        eng = lossy_engine(LinkFaultModel(drop=0.4))
+        eng.add_process("a").add_component(Burster(200))
+        rx = eng.add_process("b").add_component(Receiver())
+        eng.run()
+        assert eng.network.dropped > 0
+        assert eng.network.dropped_by_kind["data"] == eng.network.dropped
+        assert len(rx.got) == 200 - eng.network.dropped
+        assert eng.network.delivered == len(rx.got)
+
+    def test_duplicates_reach_the_application_without_a_transport(self):
+        eng = lossy_engine(LinkFaultModel(duplicate=0.5))
+        eng.add_process("a").add_component(Burster(100))
+        rx = eng.add_process("b").add_component(Receiver())
+        eng.run()
+        assert eng.network.duplicated > 0
+        assert len(rx.got) == 100 + eng.network.duplicated
+        assert len(set(rx.got)) == 100
+
+    def test_partition_blackout_then_recovery(self):
+        part = Partition.of(["a"], start=0.0, end=50.0)
+        eng = lossy_engine(LinkFaultModel(partitions=[part]), max_time=60.0)
+        eng.add_process("a").add_component(Burster(1000))
+        rx = eng.add_process("b").add_component(Receiver())
+        eng.run(until=50.0)
+        assert rx.got == []            # nothing crosses the cut
+        eng.run(until=60.0)
+        assert len(rx.got) > 0         # healed
+
+    def test_drop_events_traced_when_recording(self):
+        eng = Engine(SimConfig(seed=3, max_time=100.0, record_messages=True),
+                     delay_model=FixedDelays(1.0),
+                     fault_model=LinkFaultModel(drop=0.5))
+        eng.add_process("a").add_component(Burster(50))
+        eng.add_process("b").add_component(Receiver())
+        eng.run()
+        drops = list(eng.trace.records(kind="drop"))
+        assert len(drops) == eng.network.dropped > 0
+        assert all(r["reason"] == "loss" for r in drops)
+
+    def test_faulty_runs_replay_bit_for_bit(self):
+        def world(seed):
+            eng = lossy_engine(
+                LinkFaultModel(drop=0.3, duplicate=0.1), seed=seed)
+            eng.add_process("a").add_component(Burster(100))
+            rx = eng.add_process("b").add_component(Receiver())
+            eng.run()
+            return (tuple(rx.got), eng.network.dropped,
+                    eng.network.duplicated)
+
+        assert world(7) == world(7)
+        assert world(7) != world(8)

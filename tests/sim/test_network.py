@@ -33,7 +33,7 @@ class TestDelayModels:
 
     def test_async_delays_have_stragglers(self):
         rng = np.random.default_rng(2)
-        model = AsynchronousDelays(mean=1.0, straggler_prob=0.2,
+        model = AsynchronousDelays(median=1.0, straggler_prob=0.2,
                                    straggler_max=50.0)
         draws = [model.delay(PROBE, 0.0, rng) for _ in range(500)]
         assert max(draws) > 10.0  # heavy tail present
