@@ -32,21 +32,12 @@ import numpy as np
 
 from repro.analysis.report import Table
 from repro.errors import ConfigurationError
+from repro.runtime import ParallelExecutor
+from repro.runtime.seeds import fanout_seeds  # noqa: F401  (re-export: the
+# campaign seed fanout lives in the runtime layer; ``repro.chaos`` keeps
+# the historical name for callers and the CLI)
 from repro.scenario import Scenario, ScenarioReport, parse_graph
 from repro.sim.faults import CrashSchedule
-
-
-def fanout_seeds(base_seed: int, n: int) -> list[int]:
-    """Derive ``n`` independent 32-bit run seeds from one base seed.
-
-    Shared by ``repro sweep`` and ``repro chaos``: the fanout is stable
-    across code versions (``SeedSequence`` keying), so campaign N of base
-    seed S always names the same run.
-    """
-    if n <= 0:
-        return []
-    state = np.random.SeedSequence(int(base_seed)).generate_state(n)
-    return [int(s) for s in state]
 
 
 @dataclass(frozen=True)
@@ -195,6 +186,9 @@ class RunVerdict:
             "run_seed": self.run_seed,
             "ok": self.ok,
             "failures": list(self.failures),
+            # Sink mode the verdict's trace was recorded under, so a
+            # truncated-trace replay is never misread as missing events.
+            "trace_mode": self.report.trace_mode,
             "graph": self.scenario.graph,
             "algorithm": self.scenario.algorithm,
             "client": self.scenario.client,
@@ -285,18 +279,35 @@ class CampaignResult:
             ])
         lines = [table.render()]
         for v in self.failed:
-            lines.append(f"replay run {v.index}: {v.replay_command(self.cfg)}")
+            lines.append(f"replay run {v.index} "
+                         f"(trace {v.report.trace_mode}): "
+                         f"{v.replay_command(self.cfg)}")
         lines.append(
             f"{sum(v.ok for v in self.verdicts)}/{len(self.verdicts)} passed")
         return "\n".join(lines)
 
 
-def run_campaign(cfg: ChaosConfig) -> CampaignResult:
-    """Run the whole seeded campaign sequentially (deterministic order)."""
-    verdicts = [
-        run_one(i, run_seed, cfg)
-        for i, run_seed in enumerate(fanout_seeds(cfg.seed, cfg.campaigns))
-    ]
+def _run_one_detached(task: "tuple[int, int, ChaosConfig]") -> RunVerdict:
+    """Pool task: one chaos run, trace dropped (verdicts travel, bulk
+    event history does not).  Module-level so it pickles by reference."""
+    index, run_seed, cfg = task
+    verdict = run_one(index, run_seed, cfg)
+    verdict.report.detach_trace()
+    return verdict
+
+
+def run_campaign(cfg: ChaosConfig, workers: int = 1) -> CampaignResult:
+    """Run the whole seeded campaign, fanned over ``workers`` processes.
+
+    Each run is a pure function of its run seed, so verdicts are keyed by
+    seed and independent of worker count or completion order:
+    ``workers=4`` reproduces ``workers=1`` exactly, per seed (the
+    determinism suite in ``tests/runtime/test_executor.py`` pins this).
+    """
+    tasks = [(i, run_seed, cfg)
+             for i, run_seed in enumerate(fanout_seeds(cfg.seed,
+                                                       cfg.campaigns))]
+    verdicts = ParallelExecutor(workers=workers).map(_run_one_detached, tasks)
     return CampaignResult(cfg=cfg, verdicts=verdicts)
 
 

@@ -8,7 +8,11 @@ Usage::
     python -m repro scenario examples/scenarios/ring5_crash.json
     python -m repro sweep examples/scenarios/ring5_crash.json --seeds 16
     python -m repro chaos --campaigns 20 --seed 1 --json
+    python -m repro chaos --campaigns 64 --workers 4   # multi-core fanout
     python -m repro chaos --replay 2885616951     # reproduce one run
+
+``--workers N`` (run/sweep/chaos) fans work over a multiprocessing pool;
+results are keyed by seed and bit-identical to the serial run.
 """
 
 from __future__ import annotations
@@ -41,29 +45,35 @@ def cmd_scenario(path: str) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_sweep(path: str, seeds: Sequence[int]) -> int:
+def _sweep_one(task: tuple) -> dict:
+    """One sweep run (module-level so worker pools pickle it by reference)."""
+    import dataclasses
+
+    base, seed = task
+    report = dataclasses.replace(base, seed=seed).run()
+    return {
+        "wait_free": 1.0 if report.wait_freedom.ok else 0.0,
+        "max_wait": report.wait_freedom.max_wait,
+        "violations": float(report.exclusion.count),
+        "last_violation": report.exclusion.last_violation_end,
+        "worst_overtaking": float(report.fairness.worst_overall()),
+        "messages": float(report.metrics.messages_sent),
+    }
+
+
+def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1) -> int:
     """Run one scenario across ``seeds`` and aggregate the verdicts."""
     from repro.analysis.report import Table
     from repro.analysis.stats import sweep_many
+    from repro.runtime import ParallelExecutor
     from repro.scenario import Scenario
 
     base = Scenario.from_json(path)
-
-    def one(seed: int) -> dict:
-        import dataclasses
-
-        scenario = dataclasses.replace(base, seed=seed)
-        report = scenario.run()
-        return {
-            "wait_free": 1.0 if report.wait_freedom.ok else 0.0,
-            "max_wait": report.wait_freedom.max_wait,
-            "violations": float(report.exclusion.count),
-            "last_violation": report.exclusion.last_violation_end,
-            "worst_overtaking": float(report.fairness.worst_overall()),
-            "messages": float(report.metrics.messages_sent),
-        }
-
-    stats = sweep_many(one, list(seeds))
+    seeds = list(seeds)
+    rows = ParallelExecutor(workers=workers).map(
+        _sweep_one, [(base, seed) for seed in seeds])
+    by_seed = dict(zip(seeds, rows))
+    stats = sweep_many(lambda seed: by_seed[seed], seeds)
     table = Table(["metric", "mean ± std [min, max] (n)"],
                   title=f"sweep: {base.name} over {len(list(seeds))} seeds")
     for name, st in stats.items():
@@ -110,7 +120,7 @@ def cmd_chaos(args) -> int:
             print(f"\nreplay of run seed {args.replay}: {status}")
         return 0 if verdict.ok else 1
 
-    result = run_campaign(cfg)
+    result = run_campaign(cfg, workers=args.workers)
     if args.json:
         print(json.dumps(result.to_json(), indent=2))
     else:
@@ -118,7 +128,17 @@ def cmd_chaos(args) -> int:
     return 0 if result.ok else 1
 
 
-def cmd_run(names: Sequence[str]) -> int:
+def _run_experiment(name: str) -> tuple:
+    """One experiment by id, timed (module-level for worker pools)."""
+    registry = _registry()
+    t0 = time.perf_counter()
+    result = registry[name].run()
+    return result, time.perf_counter() - t0
+
+
+def cmd_run(names: Sequence[str], workers: int = 1) -> int:
+    from repro.runtime import ParallelExecutor
+
     registry = _registry()
     if list(names) == ["all"]:
         names = list(registry)
@@ -128,10 +148,8 @@ def cmd_run(names: Sequence[str]) -> int:
         print("use 'python -m repro list'", file=sys.stderr)
         return 2
     failures = 0
-    for name in names:
-        t0 = time.perf_counter()
-        result = registry[name].run()
-        dt = time.perf_counter() - t0
+    for result, dt in ParallelExecutor(workers=workers).map(_run_experiment,
+                                                            names):
         print(result.render())
         print(f"\n({dt:.1f}s wall)\n{'=' * 72}")
         failures += 0 if result.ok else 1
@@ -149,6 +167,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     sub.add_parser("list", help="list experiment ids and titles")
     runp = sub.add_parser("run", help="run experiments by id ('all' for every one)")
     runp.add_argument("names", nargs="+", help="experiment ids, e.g. e1 e4, or 'all'")
+    runp.add_argument("--workers", type=int, default=1,
+                      help="worker processes to fan experiments over "
+                           "(default 1 = serial; results are identical)")
     scen = sub.add_parser("scenario",
                           help="run a declarative scenario from a JSON file")
     scen.add_argument("path", help="path to the scenario JSON")
@@ -160,6 +181,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="number of derived seeds (default 8)")
     swp.add_argument("--seed", type=int, default=0,
                      help="base seed the fanout derives from (default 0)")
+    swp.add_argument("--workers", type=int, default=1,
+                     help="worker processes to fan seeds over "
+                          "(default 1 = serial; results are identical)")
     cha = sub.add_parser("chaos",
                          help="run a seeded randomized fault campaign and "
                               "check dining/oracle invariants per run")
@@ -181,6 +205,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="probability a run gets a targeted-delay adversary")
     cha.add_argument("--max-time", type=float, default=900.0,
                      help="virtual horizon per run")
+    cha.add_argument("--workers", type=int, default=1,
+                     help="worker processes to fan runs over (default 1 = "
+                          "serial; per-seed verdicts are identical)")
     cha.add_argument("--no-transport", action="store_true",
                      help="expose raw lossy links to the algorithms "
                           "(negative testing; expect invariant failures)")
@@ -192,12 +219,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "scenario":
         return cmd_scenario(args.path)
     if args.command == "sweep":
-        from repro.chaos import fanout_seeds
+        from repro.runtime import fanout_seeds
 
-        return cmd_sweep(args.path, fanout_seeds(args.seed, args.seeds))
+        return cmd_sweep(args.path, fanout_seeds(args.seed, args.seeds),
+                         workers=args.workers)
     if args.command == "chaos":
         return cmd_chaos(args)
-    return cmd_run(args.names)
+    return cmd_run(args.names, workers=args.workers)
 
 
 if __name__ == "__main__":  # pragma: no cover

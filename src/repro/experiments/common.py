@@ -1,26 +1,37 @@
-"""Shared scaffolding for the experiment harnesses."""
+"""Shared scaffolding for the experiment harnesses.
+
+All engine/oracle/transport construction lives in the canonical runtime
+builder (:mod:`repro.runtime.builder`); this module re-exports
+:func:`build_system` and :class:`System` from there so the twenty
+experiment harnesses keep their historical import path, and adds only the
+experiment-specific bits: the result record and the black-box dining
+factories the reduction experiments parameterize over.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 import networkx as nx
 
 from repro.analysis.report import Table
-from repro.dining.base import DiningInstance, SuspicionProvider
+from repro.dining.base import DiningInstance
 from repro.dining.deferred import DeferredExclusionDining
 from repro.dining.manager import ManagerDining
 from repro.dining.wf_ewx import WaitFreeEWXDining
-from repro.oracles import EventuallyPerfectDetector, attach_detectors
-from repro.oracles.base import OracleModule
-from repro.oracles.perfect import PerfectDetector
-from repro.sim.engine import Engine, SimConfig
-from repro.sim.faults import CrashSchedule
-from repro.sim.link_faults import LinkFaultModel
-from repro.sim.network import DelayModel, PartialSynchronyDelays
-from repro.sim.transport import ReliableTransport, RetransmitPolicy
-from repro.types import ProcessId, Time
+from repro.runtime.builder import System, build_system
+from repro.types import Time
+
+__all__ = [
+    "BOX_BUILDERS",
+    "ExperimentResult",
+    "System",
+    "build_system",
+    "deferred_box",
+    "manager_box",
+    "wf_box",
+]
 
 
 @dataclass
@@ -41,80 +52,6 @@ class ExperimentResult:
         if self.notes:
             parts += [""] + [f"note: {n}" for n in self.notes]
         return "\n".join(parts)
-
-
-@dataclass
-class System:
-    """A built simulation: engine plus the box-internal oracle plumbing."""
-
-    engine: Engine
-    pids: list[ProcessId]
-    schedule: CrashSchedule
-    box_modules: dict[ProcessId, OracleModule]
-    provider: SuspicionProvider
-    transport: "ReliableTransport | None" = None
-
-
-def build_system(
-    pids: Sequence[ProcessId],
-    seed: int,
-    gst: Time = 150.0,
-    max_time: Time = 3000.0,
-    crash: CrashSchedule | None = None,
-    delta: Time = 1.5,
-    pre_gst_max: Time = 30.0,
-    heartbeat_period: int = 4,
-    initial_timeout: int = 10,
-    oracle: str = "hb",
-    delay_model: "DelayModel | None" = None,
-    fault_model: "LinkFaultModel | None" = None,
-    transport: "bool | RetransmitPolicy" = False,
-) -> System:
-    """Engine + per-process box-internal oracle (``"hb"`` heartbeat ◇P or
-    ``"perfect"`` P substrate) + the suspicion provider dining boxes use.
-
-    ``delay_model`` overrides the default GST channel model (e.g. to wrap
-    it in adversarial :class:`~repro.sim.adversary.TargetedDelays`).
-    ``fault_model`` makes the wire fair-lossy; pass ``transport=True`` (or
-    a :class:`~repro.sim.transport.RetransmitPolicy`) to restore reliable
-    channels over it, so algorithms keep their Section 4 assumptions.
-    """
-    schedule = crash or CrashSchedule.none()
-    engine = Engine(
-        SimConfig(seed=seed, max_time=max_time),
-        delay_model=delay_model or PartialSynchronyDelays(
-            gst=gst, delta=delta, pre_gst_max=pre_gst_max),
-        crash_schedule=schedule,
-        fault_model=fault_model,
-    )
-    installed: ReliableTransport | None = None
-    if transport:
-        policy = transport if isinstance(transport, RetransmitPolicy) else None
-        installed = ReliableTransport(policy).install(engine)
-    for pid in pids:
-        engine.add_process(pid)
-    if oracle == "hb":
-        modules = attach_detectors(
-            engine, list(pids),
-            lambda o, peers: EventuallyPerfectDetector(
-                "boxfd", peers, heartbeat_period=heartbeat_period,
-                initial_timeout=initial_timeout),
-        )
-    elif oracle == "perfect":
-        modules = attach_detectors(
-            engine, list(pids),
-            lambda o, peers: PerfectDetector("boxfd", peers, schedule,
-                                             latency=5.0),
-        )
-    else:
-        raise ValueError(f"unknown oracle kind {oracle!r}")
-
-    def provider(pid: ProcessId):
-        module = modules[pid]
-        return lambda q: module.suspected(q)
-
-    return System(engine=engine, pids=list(pids), schedule=schedule,
-                  box_modules=modules, provider=provider, transport=installed)
 
 
 def wf_box(system: System) -> Callable[[str, nx.Graph], DiningInstance]:

@@ -1,0 +1,56 @@
+"""The run-construction runtime: one contract, ``RunSpec → RunResult``.
+
+This package is the single place a simulated dining run is described,
+wired, executed, and judged:
+
+* :class:`~repro.runtime.spec.RunSpec` — declarative, picklable
+  description of one run (topology, seed, fault/delay models, transport,
+  oracle, algorithm, workload, crash schedule, trace-sink mode);
+* :mod:`~repro.runtime.builder` — the canonical builder
+  (:func:`~repro.runtime.builder.build_system`,
+  :func:`~repro.runtime.builder.instantiate`,
+  :func:`~repro.runtime.builder.execute`) that every former wiring path
+  (``scenario``, ``chaos``, ``experiments/common``, benchmarks) now
+  delegates to;
+* :class:`~repro.runtime.result.RunResult` — the uniform outcome envelope
+  (verdicts, metrics, trace handle + sink mode);
+* :class:`~repro.runtime.executor.ParallelExecutor` — deterministic
+  multi-core fan-out of spec lists (``--workers N`` on the CLI);
+* :func:`~repro.runtime.seeds.fanout_seeds` — stable campaign seed
+  derivation.
+
+See docs/runtime.md for the architecture walkthrough.
+"""
+
+from repro.runtime.builder import (
+    INSTANCE,
+    BuiltRun,
+    System,
+    build_client,
+    build_dining,
+    build_system,
+    execute,
+    instantiate,
+    justify_violations,
+)
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.result import RunResult
+from repro.runtime.seeds import fanout_seeds
+from repro.runtime.spec import RunSpec, parse_graph
+
+__all__ = [
+    "INSTANCE",
+    "BuiltRun",
+    "ParallelExecutor",
+    "RunResult",
+    "RunSpec",
+    "System",
+    "build_client",
+    "build_dining",
+    "build_system",
+    "execute",
+    "fanout_seeds",
+    "instantiate",
+    "justify_violations",
+    "parse_graph",
+]

@@ -1,0 +1,356 @@
+"""The one canonical builder: ``RunSpec`` → wired engine → ``RunResult``.
+
+Historically four places wired Engine + Network + oracles + dining stacks
+by hand, each slightly differently (``scenario.Scenario``,
+``chaos.build_run``, ``experiments/common.build_system``, benchmark
+fixtures).  All of that construction now lives here:
+
+* :func:`build_system` — engine + per-process box oracle + suspicion
+  provider (the substrate experiments attach their own instances to);
+* :func:`instantiate` — the full declarative path: substrate + dining
+  algorithm + per-process workload clients from a :class:`RunSpec`;
+* :func:`execute` — instantiate, run to the horizon, and judge: returns
+  the :class:`~repro.runtime.result.RunResult` envelope.
+
+``execute`` is a pure function of its spec (all randomness flows from
+``spec.seed``), which is what lets the
+:class:`~repro.runtime.executor.ParallelExecutor` fan specs out over
+worker processes with bit-identical per-seed results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+import networkx as nx
+
+from repro.dining.base import DiningInstance, SuspicionProvider
+from repro.dining.client import EagerClient, PeriodicClient
+from repro.dining.deferred import DeferredExclusionDining
+from repro.dining.fair_wrapper import FairDining
+from repro.dining.fairness import measure_fairness
+from repro.dining.hygienic import HygienicDining
+from repro.dining.manager import ManagerDining
+from repro.dining.spec import check_exclusion, check_wait_freedom, state_series
+from repro.dining.wf_ewx import WaitFreeEWXDining
+from repro.errors import ConfigurationError, SimulationError
+from repro.oracles import EventuallyPerfectDetector, attach_detectors
+from repro.oracles.base import OracleModule
+from repro.oracles.perfect import PerfectDetector
+from repro.oracles.properties import (
+    check_eventual_strong_accuracy,
+    check_strong_completeness,
+    suspected_at,
+)
+from repro.runtime.result import RunResult
+from repro.runtime.spec import RunSpec, parse_graph
+from repro.sim import adversary
+from repro.sim.engine import Engine, SimConfig
+from repro.sim.faults import CrashSchedule
+from repro.sim.link_faults import LinkFaultModel, Partition
+from repro.sim.metrics import collect_metrics
+from repro.sim.network import DelayModel, PartialSynchronyDelays
+from repro.sim.transport import ReliableTransport, RetransmitPolicy
+from repro.types import DinerState, ProcessId, Time
+
+#: Dining-instance id used by every declarative run (trace checkers key
+#: state rows by it).
+INSTANCE = "SCENARIO"
+
+
+@dataclass
+class System:
+    """A built simulation: engine plus the box-internal oracle plumbing."""
+
+    engine: Engine
+    pids: list[ProcessId]
+    schedule: CrashSchedule
+    box_modules: dict[ProcessId, OracleModule]
+    provider: SuspicionProvider
+    transport: "ReliableTransport | None" = None
+
+
+def build_system(
+    pids: Sequence[ProcessId],
+    seed: int,
+    gst: Time = 150.0,
+    max_time: Time = 3000.0,
+    crash: CrashSchedule | None = None,
+    delta: Time = 1.5,
+    pre_gst_max: Time = 30.0,
+    heartbeat_period: int = 4,
+    initial_timeout: int = 10,
+    oracle: str = "hb",
+    delay_model: "DelayModel | None" = None,
+    fault_model: "LinkFaultModel | None" = None,
+    transport: "bool | RetransmitPolicy" = False,
+    trace_sink: str = "full",
+    record_messages: bool = False,
+) -> System:
+    """Engine + per-process box-internal oracle (``"hb"`` heartbeat ◇P or
+    ``"perfect"`` P substrate) + the suspicion provider dining boxes use.
+
+    ``delay_model`` overrides the default GST channel model (e.g. to wrap
+    it in adversarial :class:`~repro.sim.adversary.TargetedDelays`).
+    ``fault_model`` makes the wire fair-lossy; pass ``transport=True`` (or
+    a :class:`~repro.sim.transport.RetransmitPolicy`) to restore reliable
+    channels over it, so algorithms keep their Section 4 assumptions.
+    ``trace_sink`` bounds trace memory (``full`` | ``ring:N`` |
+    ``counters`` — see :mod:`repro.sim.sinks`).
+    """
+    schedule = crash or CrashSchedule.none()
+    engine = Engine(
+        SimConfig(seed=seed, max_time=max_time, trace_sink=trace_sink,
+                  record_messages=record_messages),
+        delay_model=delay_model or PartialSynchronyDelays(
+            gst=gst, delta=delta, pre_gst_max=pre_gst_max),
+        crash_schedule=schedule,
+        fault_model=fault_model,
+    )
+    installed: ReliableTransport | None = None
+    if transport:
+        policy = transport if isinstance(transport, RetransmitPolicy) else None
+        installed = ReliableTransport(policy).install(engine)
+    for pid in pids:
+        engine.add_process(pid)
+    if oracle == "hb":
+        modules = attach_detectors(
+            engine, list(pids),
+            lambda o, peers: EventuallyPerfectDetector(
+                "boxfd", peers, heartbeat_period=heartbeat_period,
+                initial_timeout=initial_timeout),
+        )
+    elif oracle == "perfect":
+        modules = attach_detectors(
+            engine, list(pids),
+            lambda o, peers: PerfectDetector("boxfd", peers, schedule,
+                                             latency=5.0),
+        )
+    else:
+        raise ValueError(f"unknown oracle kind {oracle!r}")
+
+    def provider(pid: ProcessId):
+        module = modules[pid]
+        return lambda q: module.suspected(q)
+
+    return System(engine=engine, pids=list(pids), schedule=schedule,
+                  box_modules=modules, provider=provider, transport=installed)
+
+
+# -- declarative pieces -------------------------------------------------------
+
+
+def build_dining(algorithm: str, graph: nx.Graph, system: System,
+                 instance_id: str = INSTANCE) -> DiningInstance:
+    """The dining stack named by an algorithm spec, bound to the system's
+    suspicion provider: ``wf-ewx`` | ``hygienic`` | ``deferred[:horizon]``
+    | ``manager`` | ``fair:<k>``."""
+    algo, _, arg = algorithm.partition(":")
+    if algo == "wf-ewx":
+        return WaitFreeEWXDining(instance_id, graph, system.provider)
+    if algo == "hygienic":
+        return HygienicDining(instance_id, graph)
+    if algo == "deferred":
+        horizon = float(arg) if arg else 150.0
+        return DeferredExclusionDining(instance_id, graph, system.provider,
+                                       mistake_horizon=horizon)
+    if algo == "manager":
+        return ManagerDining(instance_id, graph, system.provider)
+    if algo == "fair":
+        k = int(arg) if arg else 2
+        inner = lambda iid, g: WaitFreeEWXDining(iid, g,  # noqa: E731
+                                                 system.provider)
+        return FairDining(instance_id, graph, inner, system.provider, k=k)
+    raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+
+
+def build_client(client: str, pid: ProcessId, diner, engine: Engine):
+    """The workload component named by a client spec:
+    ``eager:<steps>`` | ``periodic``."""
+    kind, _, arg = client.partition(":")
+    if kind == "eager":
+        steps = int(arg) if arg else 2
+        return EagerClient("client", diner, eat_steps=steps)
+    if kind == "periodic":
+        return PeriodicClient("client", diner,
+                              rng=engine.rng.stream(f"client:{pid}"))
+    raise ConfigurationError(f"unknown client kind {client!r}")
+
+
+def build_fault_model(spec: RunSpec,
+                      pids: Sequence[ProcessId]) -> Optional[LinkFaultModel]:
+    """Link-fault model from the spec's drop/duplicate/partition knobs."""
+    partitions = []
+    if spec.partition is not None:
+        part = dict(spec.partition)
+        unknown = set(part) - {"side", "start", "end"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown partition keys: {sorted(unknown)}")
+        side = set(part.get("side", ()))
+        bad = side - set(pids)
+        if bad:
+            raise ConfigurationError(
+                f"partition side names unknown processes: {sorted(bad)}")
+        partitions.append(Partition.of(side, float(part["start"]),
+                                       float(part["end"])))
+    if not (spec.drop or spec.duplicate or partitions):
+        return None
+    return LinkFaultModel(drop=spec.drop, duplicate=spec.duplicate,
+                          partitions=partitions)
+
+
+def build_delay_model(spec: RunSpec) -> DelayModel:
+    """The channel model, wrapped in a targeted adversary if ``slow``."""
+    # Same channel constants build_system would pick on its own, so a
+    # spec with no adversary behaves exactly as before.
+    base = PartialSynchronyDelays(gst=spec.gst, delta=1.5, pre_gst_max=30.0)
+    if spec.slow is None:
+        return base
+    slow = dict(spec.slow)
+    preds = []
+    if "kind" in slow:
+        preds.append(adversary.by_kind(slow.pop("kind")))
+    if "endpoint" in slow:
+        preds.append(adversary.by_endpoint(slow.pop("endpoint")))
+    if "tag_prefix" in slow:
+        preds.append(adversary.by_tag_prefix(slow.pop("tag_prefix")))
+    if not preds:
+        raise ConfigurationError(
+            "slow needs a kind/endpoint/tag_prefix selector")
+    until = slow.pop("until", None)
+    rule = adversary.DelayRule(
+        predicate=lambda m: all(p(m) for p in preds),
+        factor=float(slow.pop("factor", 1.0)),
+        extra_max=float(slow.pop("extra_max", 0.0)),
+        until=None if until is None else float(until),
+    )
+    if slow:
+        raise ConfigurationError(f"unknown slow keys: {sorted(slow)}")
+    return adversary.TargetedDelays(base, [rule])
+
+
+# -- the full declarative path ------------------------------------------------
+
+
+@dataclass
+class BuiltRun:
+    """A fully wired, not-yet-executed run."""
+
+    spec: RunSpec
+    graph: nx.Graph
+    system: System
+    instance: DiningInstance
+    diners: Mapping[ProcessId, Any] = field(default_factory=dict)
+
+    @property
+    def engine(self) -> Engine:
+        return self.system.engine
+
+
+def instantiate(spec: RunSpec) -> BuiltRun:
+    """Wire engine, oracle substrate, dining stack, and workload clients
+    for ``spec`` — without running anything."""
+    graph = parse_graph(spec.graph)
+    pids = sorted(graph.nodes)
+    bad = set(spec.crashes) - set(pids)
+    if bad:
+        raise ConfigurationError(f"crashes name unknown processes: {bad}")
+    fault_model = build_fault_model(spec, pids)
+    use_transport: Any = (spec.transport if spec.transport is not None
+                          else fault_model is not None)
+    if isinstance(use_transport, Mapping):
+        use_transport = RetransmitPolicy(
+            **{k: float(v) for k, v in use_transport.items()})
+    system = build_system(
+        pids, seed=spec.seed, gst=spec.gst, max_time=spec.max_time,
+        crash=CrashSchedule(dict(spec.crashes)), oracle=spec.oracle,
+        delay_model=build_delay_model(spec), fault_model=fault_model,
+        transport=use_transport, trace_sink=spec.trace,
+        record_messages=spec.record_messages,
+    )
+    instance = build_dining(spec.algorithm, graph, system)
+    diners = instance.attach(system.engine)
+    for pid in pids:
+        system.engine.process(pid).add_component(
+            build_client(spec.client, pid, diners[pid], system.engine))
+    return BuiltRun(spec=spec, graph=graph, system=system,
+                    instance=instance, diners=diners)
+
+
+def _violation_justified(trace, violation) -> bool:
+    """Did either endpoint's current eating session begin under suspicion
+    of the other?  (The ◇WX mechanism: simultaneous eating is only ever
+    enabled by an oracle mistake.)
+    """
+    for eater, peer in ((violation.u, violation.v), (violation.v, violation.u)):
+        begins = [t for t, s in state_series(trace, INSTANCE, eater)
+                  if s == DinerState.EATING.value and t <= violation.start]
+        if begins and suspected_at(trace, eater, peer, max(begins),
+                                   detector="boxfd"):
+            return True
+    return False
+
+
+def justify_violations(trace, violations) -> bool:
+    """Check every exclusion violation is oracle-justified.
+
+    Fails loudly rather than silently mis-judging on truncated traces: a
+    ring/counters sink may have evicted the very state/suspect rows the
+    justification hinges on, and an "unjustified violation" verdict built
+    on missing evidence would point at the dining layer for a bookkeeping
+    artifact.
+    """
+    if not violations:
+        return True
+    if trace.truncated:
+        raise SimulationError(
+            f"cannot judge {len(violations)} exclusion violation(s): trace "
+            f"sink {trace.mode!r} evicted {trace.evicted} of "
+            f"{trace.total_recorded} records, so session-start/suspicion "
+            "evidence may be gone — rerun with trace='full'"
+        )
+    return all(_violation_justified(trace, v) for v in violations)
+
+
+def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
+    """Build and run ``spec`` to its horizon, then judge it.
+
+    ``check=None`` (default) runs the invariant battery exactly when the
+    trace sink retains rows (``counters`` runs are metrics-only; their
+    verdict fields stay ``None`` and ``result.checked`` is False).
+    """
+    built = instantiate(spec)
+    eng = built.engine
+    eng.run()
+    if check is None:
+        check = eng.trace.mode != "counters"
+    result = RunResult(
+        name=spec.name,
+        seed=spec.seed,
+        end_time=eng.now,
+        metrics=collect_metrics(eng),
+        trace_mode=eng.trace.mode,
+        trace_evicted=eng.trace.evicted,
+        trace=eng.trace,
+    )
+    if not check:
+        return result
+    pids = built.system.pids
+    schedule = built.system.schedule
+    exclusion = check_exclusion(eng.trace, built.graph, INSTANCE,
+                                schedule, eng.now)
+    result.wait_freedom = check_wait_freedom(eng.trace, built.graph, INSTANCE,
+                                             schedule, eng.now,
+                                             grace=spec.grace)
+    result.exclusion = exclusion
+    result.fairness = measure_fairness(eng.trace, built.graph, INSTANCE,
+                                       eng.now, schedule)
+    result.oracle_accuracy_ok = check_eventual_strong_accuracy(
+        eng.trace, pids, pids, schedule, detector="boxfd").ok
+    result.oracle_completeness_ok = check_strong_completeness(
+        eng.trace, pids, pids, schedule, detector="boxfd").ok
+    result.violations_justified = justify_violations(eng.trace,
+                                                     exclusion.violations)
+    return result

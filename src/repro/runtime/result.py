@@ -1,0 +1,112 @@
+"""The uniform envelope for one run's outcome.
+
+A :class:`RunResult` bundles everything downstream consumers read off a
+finished run: the four dining/oracle verdicts, run metrics, the end time,
+and a handle on the trace (plus the sink mode that produced it, so a
+truncated trace is never misread as a complete one).
+``ScenarioReport``, chaos ``RunVerdict``, and ``ExperimentResult`` are
+thin views over (or wrappers around) this envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.dining.fairness import FairnessReport
+from repro.dining.spec import ExclusionReport, WaitFreedomReport
+from repro.sim.metrics import RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.trace import Trace
+
+
+@dataclass
+class RunResult:
+    """Verdicts + metrics + trace handle for one executed :class:`RunSpec`.
+
+    Verdict fields are ``None`` when the run was executed unchecked (a
+    ``counters`` trace sink retains no rows, so there is nothing to check
+    against); :attr:`checked` distinguishes "all invariants verified" from
+    "nothing was verified".
+    """
+
+    name: str = "run"
+    seed: int = 0
+    end_time: float = 0.0
+    metrics: Optional[RunMetrics] = None
+    wait_freedom: Optional[WaitFreedomReport] = None
+    exclusion: Optional[ExclusionReport] = None
+    fairness: Optional[FairnessReport] = None
+    #: Box-oracle (◇P substrate) verdicts: eventual strong accuracy and
+    #: strong completeness, checked from the trace over the whole run.
+    oracle_accuracy_ok: Optional[bool] = None
+    oracle_completeness_ok: Optional[bool] = None
+    #: The ◇WX mechanism check: every exclusion violation must be
+    #: *oracle-justified* — at least one endpoint's eating session began
+    #: while it suspected the other.  (The later entrant cannot hold the
+    #: shared fork, since forks never leave an eater, so an unjustified
+    #: violation means the dining layer itself double-granted an edge.)
+    #: Unlike a fixed convergence deadline this is robust to legitimate
+    #: late ◇P mistakes, which become rarer but may occur arbitrarily
+    #: deep into a finite run.
+    violations_justified: Optional[bool] = None
+    #: Sink mode the run's trace was recorded under (``full`` | ``ring:N``
+    #: | ``counters``) and how many rows that sink evicted.  Failure
+    #: summaries carry these so a truncated-trace replay is never misread
+    #: as missing events.
+    trace_mode: str = "full"
+    trace_evicted: int = 0
+    #: Handle on the run's trace.  Dropped (``None``) when results cross a
+    #: worker-process boundary in parallel campaigns — verdicts and
+    #: metrics travel, bulk event history does not.
+    trace: "Optional[Trace]" = None
+
+    @property
+    def checked(self) -> bool:
+        """True when the invariant battery actually ran for this result."""
+        return self.wait_freedom is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.checked and self.wait_freedom.ok
+
+    def eventually_exclusive_by(self, t: float) -> bool:
+        """◇WX convergence test: did all exclusion violations end by ``t``?"""
+        return self.exclusion.eventually_exclusive_by(t)
+
+    def detach_trace(self) -> "RunResult":
+        """Drop the trace handle (cheap to pickle across process pools)."""
+        self.trace = None
+        return self
+
+    def summary(self) -> dict[str, Any]:
+        """Flat, JSON-serializable digest used by determinism comparisons."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "end_time": self.end_time,
+            "checked": self.checked,
+            "ok": self.ok if self.checked else None,
+            "wait_free": self.wait_freedom.ok if self.checked else None,
+            "max_hungry_wait": (round(self.wait_freedom.max_wait, 6)
+                                if self.checked else None),
+            "exclusion_violations": (self.exclusion.count
+                                     if self.checked else None),
+            "violations_justified": self.violations_justified,
+            "oracle_accuracy_ok": self.oracle_accuracy_ok,
+            "oracle_completeness_ok": self.oracle_completeness_ok,
+            "messages_sent": self.metrics.messages_sent,
+            "messages_dropped": self.metrics.messages_dropped,
+            "retransmissions": self.metrics.retransmissions,
+            "events_processed": self.metrics.events_processed,
+            "trace_mode": self.trace_mode,
+            "trace_evicted": self.trace_evicted,
+        }
+
+    @classmethod
+    def view_fields(cls, result: "RunResult") -> dict[str, Any]:
+        """Field dict for constructing thin subclass views over ``result``."""
+        return {f.name: getattr(result, f.name)
+                for f in dataclasses.fields(RunResult)}

@@ -1,0 +1,25 @@
+"""Deterministic seed fanout for multi-run campaigns.
+
+One base seed names a whole campaign; each run's seed derives from it
+through :func:`numpy.random.SeedSequence`, so run N of base seed S is the
+same run on every machine, every code version, and every worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fanout_seeds(base_seed: int, n: int) -> list[int]:
+    """Derive ``n`` independent 32-bit run seeds from one base seed.
+
+    Shared by ``repro sweep`` and ``repro chaos``: the fanout is stable
+    across code versions (``SeedSequence`` keying) and prefix-stable in
+    ``n``, so campaign N of base seed S always names the same run.
+    Distinct base seeds yield non-overlapping child-seed streams (see the
+    collision test in ``tests/runtime/test_seeds.py``).
+    """
+    if n <= 0:
+        return []
+    state = np.random.SeedSequence(int(base_seed)).generate_state(n)
+    return [int(s) for s in state]

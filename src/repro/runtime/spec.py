@@ -1,0 +1,100 @@
+"""The declarative description of one simulated dining run.
+
+A :class:`RunSpec` fully determines a run — topology, seed, delay and
+fault models, transport policy, oracle, dining algorithm, workload, crash
+schedule, and trace-sink mode.  It is plain data (strings, numbers,
+mappings), so it serializes to JSON, pickles across worker processes, and
+compares by value; the single canonical builder in
+:mod:`repro.runtime.builder` turns it into a wired engine, and
+:func:`repro.runtime.builder.execute` turns it into a
+:class:`~repro.runtime.result.RunResult`.
+
+Every former construction path — ``scenario.Scenario``,
+``chaos.build_run``, ``experiments/common.build_system``, ad-hoc
+benchmark fixtures — is now a thin producer or consumer of this type.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import networkx as nx
+
+from repro import graphs
+from repro.errors import ConfigurationError
+
+
+def parse_graph(spec: str) -> nx.Graph:
+    """Parse a graph spec: ``ring:5``, ``clique:4``, ``path:6``,
+    ``star:4``, ``grid:2x3``, or ``pair:a,b``."""
+    kind, _, arg = spec.partition(":")
+    try:
+        if kind == "ring":
+            return graphs.ring(int(arg))
+        if kind == "clique":
+            return graphs.clique(int(arg))
+        if kind == "path":
+            return graphs.path(int(arg))
+        if kind == "star":
+            return graphs.star(int(arg))
+        if kind == "grid":
+            rows, cols = arg.split("x")
+            return graphs.grid(int(rows), int(cols))
+        if kind == "pair":
+            a, b = arg.split(",")
+            return graphs.pair_graph(a.strip(), b.strip())
+    except (ValueError, TypeError) as exc:
+        raise ConfigurationError(f"bad graph spec {spec!r}: {exc}") from exc
+    raise ConfigurationError(f"unknown graph kind {kind!r}")
+
+
+@dataclass
+class RunSpec:
+    """A declaratively-described dining run (pure data, fully picklable)."""
+
+    name: str = "run"
+    graph: str = "ring:4"
+    algorithm: str = "wf-ewx"
+    oracle: str = "hb"
+    client: str = "eager:2"
+    crashes: Mapping[str, float] = field(default_factory=dict)
+    seed: int = 0
+    gst: float = 120.0
+    max_time: float = 2000.0
+    grace: float = 120.0
+    #: Link faults (docs/fault_model.md): per-message loss/duplication
+    #: probabilities and an optional partition window
+    #: ``{"side": [pids], "start": t0, "end": t1}``.
+    drop: float = 0.0
+    duplicate: float = 0.0
+    partition: Optional[Mapping[str, Any]] = None
+    #: Reliable transport over the faulty wire.  ``None`` = auto: installed
+    #: exactly when link faults are configured, so algorithms keep their
+    #: Section 4 channel assumptions.  ``False`` exposes raw faults to the
+    #: algorithms (chaos/negative testing).  A mapping is passed through as
+    #: :class:`~repro.sim.transport.RetransmitPolicy` keywords, e.g.
+    #: ``{"rto_initial": 6.0, "rto_max": 45.0}``.
+    transport: Optional[bool | Mapping[str, float]] = None
+    #: Targeted delay adversary: ``{"kind"|"endpoint"|"tag_prefix": ...,
+    #: "factor": f, "extra_max": m, "until": t}`` (see repro.sim.adversary).
+    slow: Optional[Mapping[str, Any]] = None
+    #: Trace sink mode (``full`` | ``ring:N`` | ``counters``): how much of
+    #: the run's event history is retained for verdict checking; see
+    #: :mod:`repro.sim.sinks` and docs/runtime.md.
+    trace: str = "full"
+    #: Record per-message send/deliver trace rows (verbose; off by default).
+    record_messages: bool = False
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        unknown = set(data) - {f.name for f in cls.__dataclass_fields__.values()}
+        if unknown:
+            raise ConfigurationError(f"unknown scenario keys: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, path: "str | pathlib.Path") -> "RunSpec":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -24,6 +24,8 @@ Downstream users rarely want to wire engines by hand; a
                                       # (default: auto — on iff faults set)
         # optional targeted adversary (extra delay on matching messages):
         "slow": {"kind": "ping", "factor": 4.0, "until": 800.0},
+        # optional trace sink (docs/runtime.md): full | ring:N | counters
+        "trace": "full",
     }).run()
 
 — and ``run()`` returns a :class:`ScenarioReport` bundling the
@@ -31,120 +33,29 @@ wait-freedom, exclusion, fairness, and box-oracle (◇P) verdicts plus run
 metrics.  The CLI exposes it as ``repro scenario path/to/file.json``; the
 chaos runner (:mod:`repro.chaos`) generates randomized scenarios through
 this same front door so every chaos run replays from its seed.
+
+A :class:`Scenario` *is* a :class:`~repro.runtime.spec.RunSpec` — all
+wiring and execution happens in :mod:`repro.runtime`; this module only
+adds the report view and its rendering.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from dataclasses import dataclass
 
-import networkx as nx
-
-from repro import graphs
 from repro.analysis.report import Table
-from repro.dining.client import EagerClient, PeriodicClient
-from repro.dining.deferred import DeferredExclusionDining
-from repro.dining.fair_wrapper import FairDining
-from repro.dining.fairness import FairnessReport, measure_fairness
-from repro.dining.hygienic import HygienicDining
-from repro.dining.manager import ManagerDining
-from repro.dining.spec import (
-    ExclusionReport,
-    WaitFreedomReport,
-    check_exclusion,
-    check_wait_freedom,
-    state_series,
-)
-from repro.dining.wf_ewx import WaitFreeEWXDining
-from repro.errors import ConfigurationError
-from repro.experiments.common import build_system
-from repro.oracles.properties import (
-    check_eventual_strong_accuracy,
-    check_strong_completeness,
-    suspected_at,
-)
-from repro.sim import adversary
-from repro.sim.faults import CrashSchedule
-from repro.types import DinerState
-from repro.sim.link_faults import LinkFaultModel, Partition
-from repro.sim.metrics import RunMetrics, collect_metrics
-from repro.sim.network import PartialSynchronyDelays
-from repro.sim.transport import RetransmitPolicy
+from repro.runtime import INSTANCE, RunResult, RunSpec, execute, parse_graph
 
-INSTANCE = "SCENARIO"
-
-
-def parse_graph(spec: str) -> nx.Graph:
-    """Parse a graph spec: ``ring:5``, ``clique:4``, ``path:6``,
-    ``star:4``, ``grid:2x3``, or ``pair:a,b``."""
-    kind, _, arg = spec.partition(":")
-    try:
-        if kind == "ring":
-            return graphs.ring(int(arg))
-        if kind == "clique":
-            return graphs.clique(int(arg))
-        if kind == "path":
-            return graphs.path(int(arg))
-        if kind == "star":
-            return graphs.star(int(arg))
-        if kind == "grid":
-            rows, cols = arg.split("x")
-            return graphs.grid(int(rows), int(cols))
-        if kind == "pair":
-            a, b = arg.split(",")
-            return graphs.pair_graph(a.strip(), b.strip())
-    except (ValueError, TypeError) as exc:
-        raise ConfigurationError(f"bad graph spec {spec!r}: {exc}") from exc
-    raise ConfigurationError(f"unknown graph kind {kind!r}")
-
-
-def _violation_justified(trace, violation) -> bool:
-    """Did either endpoint's current eating session begin under suspicion
-    of the other?  (The ◇WX mechanism: simultaneous eating is only ever
-    enabled by an oracle mistake — see ScenarioReport.violations_justified.)
-    """
-    for eater, peer in ((violation.u, violation.v), (violation.v, violation.u)):
-        begins = [t for t, s in state_series(trace, INSTANCE, eater)
-                  if s == DinerState.EATING.value and t <= violation.start]
-        if begins and suspected_at(trace, eater, peer, max(begins),
-                                   detector="boxfd"):
-            return True
-    return False
+__all__ = ["INSTANCE", "Scenario", "ScenarioReport", "parse_graph"]
 
 
 @dataclass
-class ScenarioReport:
-    """Bundle of verdicts for one scenario run."""
+class ScenarioReport(RunResult):
+    """Thin presentation view over the runtime's :class:`RunResult`."""
 
-    name: str
-    wait_freedom: WaitFreedomReport
-    exclusion: ExclusionReport
-    fairness: FairnessReport
-    metrics: RunMetrics
-    end_time: float
-    #: Box-oracle (◇P substrate) verdicts: eventual strong accuracy and
-    #: strong completeness, checked from the trace over the whole run.
-    oracle_accuracy_ok: bool = True
-    oracle_completeness_ok: bool = True
-    #: The ◇WX mechanism check: every exclusion violation must be
-    #: *oracle-justified* — at least one endpoint's eating session began
-    #: while it suspected the other.  (The later entrant cannot hold the
-    #: shared fork, since forks never leave an eater, so an unjustified
-    #: violation means the dining layer itself double-granted an edge.)
-    #: Unlike a fixed convergence deadline this is robust to legitimate
-    #: late ◇P mistakes, which become rarer but may occur arbitrarily
-    #: deep into a finite run.
-    violations_justified: bool = True
-
-    @property
-    def ok(self) -> bool:
-        return self.wait_freedom.ok
-
-    def eventually_exclusive_by(self, t: float) -> bool:
-        """◇WX convergence test: did all exclusion violations end by ``t``?"""
-        return self.exclusion.eventually_exclusive_by(t)
+    @classmethod
+    def from_result(cls, result: RunResult) -> "ScenarioReport":
+        return cls(**RunResult.view_fields(result))
 
     def render(self) -> str:
         t = Table(["property", "value"], title=f"scenario: {self.name}")
@@ -162,6 +73,7 @@ class ScenarioReport:
         t.add_row(["messages dropped", self.metrics.messages_dropped])
         t.add_row(["messages duplicated", self.metrics.messages_duplicated])
         t.add_row(["retransmissions", self.metrics.retransmissions])
+        t.add_row(["trace sink", self.trace_mode])
         t.add_row(["virtual time", self.end_time])
         sessions = ", ".join(
             f"{p}:{n}" for p, n in sorted(self.wait_freedom.sessions.items())
@@ -170,172 +82,11 @@ class ScenarioReport:
 
 
 @dataclass
-class Scenario:
-    """A declaratively-described dining run."""
+class Scenario(RunSpec):
+    """A declaratively-described dining run (a named :class:`RunSpec`)."""
 
     name: str = "scenario"
-    graph: str = "ring:4"
-    algorithm: str = "wf-ewx"
-    oracle: str = "hb"
-    client: str = "eager:2"
-    crashes: Mapping[str, float] = field(default_factory=dict)
-    seed: int = 0
-    gst: float = 120.0
-    max_time: float = 2000.0
-    grace: float = 120.0
-    #: Link faults (docs/fault_model.md): per-message loss/duplication
-    #: probabilities and an optional partition window
-    #: ``{"side": [pids], "start": t0, "end": t1}``.
-    drop: float = 0.0
-    duplicate: float = 0.0
-    partition: Optional[Mapping[str, Any]] = None
-    #: Reliable transport over the faulty wire.  ``None`` = auto: installed
-    #: exactly when link faults are configured, so algorithms keep their
-    #: Section 4 channel assumptions.  ``False`` exposes raw faults to the
-    #: algorithms (chaos/negative testing).  A mapping is passed through as
-    #: :class:`~repro.sim.transport.RetransmitPolicy` keywords, e.g.
-    #: ``{"rto_initial": 6.0, "rto_max": 45.0}``.
-    transport: Optional[bool | Mapping[str, float]] = None
-    #: Targeted delay adversary: ``{"kind"|"endpoint"|"tag_prefix": ...,
-    #: "factor": f, "extra_max": m, "until": t}`` (see repro.sim.adversary).
-    slow: Optional[Mapping[str, Any]] = None
-
-    @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
-        unknown = set(data) - {f.name for f in cls.__dataclass_fields__.values()}
-        if unknown:
-            raise ConfigurationError(f"unknown scenario keys: {sorted(unknown)}")
-        return cls(**data)
-
-    @classmethod
-    def from_json(cls, path: str | pathlib.Path) -> "Scenario":
-        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
-
-    # -- pieces ----------------------------------------------------------------
-
-    def _instance(self, graph: nx.Graph, system):
-        algo, _, arg = self.algorithm.partition(":")
-        if algo == "wf-ewx":
-            return WaitFreeEWXDining(INSTANCE, graph, system.provider)
-        if algo == "hygienic":
-            return HygienicDining(INSTANCE, graph)
-        if algo == "deferred":
-            horizon = float(arg) if arg else 150.0
-            return DeferredExclusionDining(INSTANCE, graph, system.provider,
-                                           mistake_horizon=horizon)
-        if algo == "manager":
-            return ManagerDining(INSTANCE, graph, system.provider)
-        if algo == "fair":
-            k = int(arg) if arg else 2
-            inner = lambda iid, g: WaitFreeEWXDining(iid, g,  # noqa: E731
-                                                     system.provider)
-            return FairDining(INSTANCE, graph, inner, system.provider, k=k)
-        raise ConfigurationError(f"unknown algorithm {self.algorithm!r}")
-
-    def _client(self, pid, diner, engine):
-        kind, _, arg = self.client.partition(":")
-        if kind == "eager":
-            steps = int(arg) if arg else 2
-            return EagerClient("client", diner, eat_steps=steps)
-        if kind == "periodic":
-            return PeriodicClient("client", diner,
-                                  rng=engine.rng.stream(f"client:{pid}"))
-        raise ConfigurationError(f"unknown client kind {self.client!r}")
-
-    def _fault_model(self, pids) -> Optional[LinkFaultModel]:
-        partitions = []
-        if self.partition is not None:
-            spec = dict(self.partition)
-            unknown = set(spec) - {"side", "start", "end"}
-            if unknown:
-                raise ConfigurationError(
-                    f"unknown partition keys: {sorted(unknown)}")
-            side = set(spec.get("side", ()))
-            bad = side - set(pids)
-            if bad:
-                raise ConfigurationError(
-                    f"partition side names unknown processes: {sorted(bad)}")
-            partitions.append(Partition.of(side, float(spec["start"]),
-                                           float(spec["end"])))
-        if not (self.drop or self.duplicate or partitions):
-            return None
-        return LinkFaultModel(drop=self.drop, duplicate=self.duplicate,
-                              partitions=partitions)
-
-    def _delay_model(self):
-        """The channel model, wrapped in a targeted adversary if ``slow``."""
-        # Same channel constants build_system would pick on its own, so a
-        # scenario with no adversary behaves exactly as before.
-        base = PartialSynchronyDelays(gst=self.gst, delta=1.5, pre_gst_max=30.0)
-        if self.slow is None:
-            return base
-        spec = dict(self.slow)
-        preds = []
-        if "kind" in spec:
-            preds.append(adversary.by_kind(spec.pop("kind")))
-        if "endpoint" in spec:
-            preds.append(adversary.by_endpoint(spec.pop("endpoint")))
-        if "tag_prefix" in spec:
-            preds.append(adversary.by_tag_prefix(spec.pop("tag_prefix")))
-        if not preds:
-            raise ConfigurationError(
-                "slow needs a kind/endpoint/tag_prefix selector")
-        until = spec.pop("until", None)
-        rule = adversary.DelayRule(
-            predicate=lambda m: all(p(m) for p in preds),
-            factor=float(spec.pop("factor", 1.0)),
-            extra_max=float(spec.pop("extra_max", 0.0)),
-            until=None if until is None else float(until),
-        )
-        if spec:
-            raise ConfigurationError(f"unknown slow keys: {sorted(spec)}")
-        return adversary.TargetedDelays(base, [rule])
-
-    # -- running ------------------------------------------------------------------
 
     def run(self) -> ScenarioReport:
-        graph = parse_graph(self.graph)
-        pids = sorted(graph.nodes)
-        bad = set(self.crashes) - set(pids)
-        if bad:
-            raise ConfigurationError(f"crashes name unknown processes: {bad}")
-        fault_model = self._fault_model(pids)
-        use_transport: Any = (self.transport if self.transport is not None
-                              else fault_model is not None)
-        if isinstance(use_transport, Mapping):
-            use_transport = RetransmitPolicy(
-                **{k: float(v) for k, v in use_transport.items()})
-        system = build_system(
-            pids, seed=self.seed, gst=self.gst, max_time=self.max_time,
-            crash=CrashSchedule(dict(self.crashes)), oracle=self.oracle,
-            delay_model=self._delay_model(), fault_model=fault_model,
-            transport=use_transport,
-        )
-        instance = self._instance(graph, system)
-        diners = instance.attach(system.engine)
-        for pid in pids:
-            system.engine.process(pid).add_component(
-                self._client(pid, diners[pid], system.engine))
-        system.engine.run()
-        eng = system.engine
-        accuracy = check_eventual_strong_accuracy(
-            eng.trace, pids, pids, system.schedule, detector="boxfd")
-        completeness = check_strong_completeness(
-            eng.trace, pids, pids, system.schedule, detector="boxfd")
-        exclusion = check_exclusion(eng.trace, graph, INSTANCE,
-                                    system.schedule, eng.now)
-        return ScenarioReport(
-            name=self.name,
-            wait_freedom=check_wait_freedom(eng.trace, graph, INSTANCE,
-                                            system.schedule, eng.now,
-                                            grace=self.grace),
-            exclusion=exclusion,
-            fairness=measure_fairness(eng.trace, graph, INSTANCE, eng.now,
-                                      system.schedule),
-            metrics=collect_metrics(eng),
-            end_time=eng.now,
-            oracle_accuracy_ok=accuracy.ok,
-            oracle_completeness_ok=completeness.ok,
-            violations_justified=all(
-                _violation_justified(eng.trace, v) for v in exclusion.violations),
-        )
+        """Execute through the canonical runtime and wrap the envelope."""
+        return ScenarioReport.from_result(execute(self))

@@ -36,6 +36,13 @@ from repro.sim.network import (
 )
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
+from repro.sim.sinks import (
+    CounterTraceSink,
+    FullTraceSink,
+    RingTraceSink,
+    TraceSink,
+    make_sink,
+)
 from repro.sim.trace import Trace, TraceRecord
 from repro.sim.transport import ReliableTransport, RetransmitPolicy
 
@@ -43,10 +50,12 @@ __all__ = [
     "AsynchronousDelays",
     "Clock",
     "Component",
+    "CounterTraceSink",
     "CrashSchedule",
     "DelayModel",
     "Engine",
     "FixedDelays",
+    "FullTraceSink",
     "LinkFaultModel",
     "Network",
     "PartialSynchronyDelays",
@@ -54,10 +63,13 @@ __all__ = [
     "Process",
     "ReliableTransport",
     "RetransmitPolicy",
+    "RingTraceSink",
     "RngRegistry",
     "SimConfig",
     "Trace",
     "TraceRecord",
+    "TraceSink",
     "action",
+    "make_sink",
     "receive",
 ]

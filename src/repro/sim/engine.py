@@ -37,6 +37,7 @@ from repro.sim.network import AsynchronousDelays, DelayModel, Network
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import StepPolicy
+from repro.sim.sinks import TraceSink
 from repro.sim.trace import Trace
 from repro.types import Message, ProcessId, Time
 
@@ -61,6 +62,10 @@ class SimConfig:
     step_policy: Optional[StepPolicy] = None
     #: Hard cap on processed events, as a runaway guard.
     max_events: int = 50_000_000
+    #: Trace sink spec (``"full"`` | ``"ring:N"`` | ``"counters"``) or a
+    #: prebuilt :class:`~repro.sim.sinks.TraceSink`; bounds trace memory on
+    #: long campaigns (see :mod:`repro.sim.sinks`).
+    trace_sink: "str | TraceSink" = "full"
 
 
 class Engine:
@@ -76,7 +81,7 @@ class Engine:
         self.config = config or SimConfig()
         self.clock = Clock()
         self.rng = RngRegistry(self.config.seed)
-        self.trace = Trace()
+        self.trace = Trace(sink=self.config.trace_sink)
         self.trace.bind_clock(lambda: self.clock.now)
         self.network = Network(delay_model or AsynchronousDelays(),
                                fault_model=fault_model)
@@ -160,6 +165,9 @@ class Engine:
             if self.events_processed >= self.config.max_events:
                 raise SimulationError(
                     f"event cap exceeded ({self.config.max_events}); "
+                    f"trace sink {self.trace.mode!r} retains "
+                    f"{len(self.trace)} of {self.trace.total_recorded} "
+                    f"records ({self.trace.evicted} evicted) — "
                     "runaway simulation? (infinite action loop, or a "
                     "retransmission storm — check transport backoff/rto_max)"
                 )

@@ -64,7 +64,7 @@ def load_trace(path: PathLike) -> tuple[Trace, dict[str, Any]]:
         count = 0
         for line in fh:
             row = json.loads(line)
-            trace._records.append(TraceRecord(
+            trace._append(TraceRecord(
                 time=float(row["t"]), kind=row["k"], pid=row["p"],
                 data=row["d"],
             ))

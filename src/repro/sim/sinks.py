@@ -1,0 +1,142 @@
+"""Pluggable trace sinks: where a :class:`~repro.sim.trace.Trace` puts rows.
+
+The default sink retains every record in memory (exactly the historical
+behavior).  Long campaigns that only need verdict counters or a recent
+window can swap in a bounded sink so a run's memory no longer grows with
+its event count:
+
+``"full"``      retain everything (default);
+``"ring:N"``    retain only the most recent ``N`` records, counting
+                evictions — checkers still work on the retained window,
+                and consumers that need the whole history can detect the
+                truncation via :attr:`TraceSink.evicted`;
+``"counters"``  retain nothing; only aggregate counts survive (the trace
+                itself still tracks kind histograms, crash times, and the
+                last record time, which are maintained out-of-band).
+
+Sinks are deliberately dumb appenders: filtering, kind histograms, and
+crash bookkeeping stay in :class:`~repro.sim.trace.Trace` so every sink
+mode reports them exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.trace import TraceRecord
+
+
+class TraceSink:
+    """Storage strategy for trace rows.
+
+    Subclasses define ``mode`` (a stable, human-readable spec string that
+    round-trips through :func:`make_sink`), append records, report how
+    many they have evicted, and expose the retained window in time order.
+    """
+
+    mode: str = "abstract"
+
+    @property
+    def evicted(self) -> int:
+        raise NotImplementedError
+
+    def append(self, rec: "TraceRecord") -> None:
+        raise NotImplementedError
+
+    def retained(self) -> Sequence["TraceRecord"]:
+        raise NotImplementedError
+
+
+class FullTraceSink(TraceSink):
+    """Keep every record (the historical in-memory behavior)."""
+
+    mode = "full"
+
+    def __init__(self) -> None:
+        self._records: list["TraceRecord"] = []
+
+    @property
+    def evicted(self) -> int:
+        return 0
+
+    def append(self, rec: "TraceRecord") -> None:
+        self._records.append(rec)
+
+    def retained(self) -> Sequence["TraceRecord"]:
+        return self._records
+
+
+class RingTraceSink(TraceSink):
+    """Keep only the most recent ``capacity`` records, counting evictions."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"ring sink capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.mode = f"ring:{self.capacity}"
+        self._records: deque["TraceRecord"] = deque(maxlen=self.capacity)
+        self._evicted = 0
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted
+
+    def append(self, rec: "TraceRecord") -> None:
+        if len(self._records) == self.capacity:
+            self._evicted += 1
+        self._records.append(rec)
+
+    def retained(self) -> Sequence["TraceRecord"]:
+        return list(self._records)
+
+
+class CounterTraceSink(TraceSink):
+    """Retain nothing; every appended record counts as evicted.
+
+    Aggregate views (kind histogram, crash times, last record time) are
+    maintained by the owning trace and stay exact; anything needing the
+    rows themselves must use a retaining sink.
+    """
+
+    mode = "counters"
+
+    def __init__(self) -> None:
+        self._evicted = 0
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted
+
+    def append(self, rec: "TraceRecord") -> None:
+        self._evicted += 1
+
+    def retained(self) -> Sequence["TraceRecord"]:
+        return ()
+
+
+def make_sink(spec: Union[str, TraceSink, None]) -> TraceSink:
+    """Build a sink from a spec string (``full`` | ``ring:N`` | ``counters``),
+    pass an existing sink through, or default (``None``) to full retention."""
+    if spec is None:
+        return FullTraceSink()
+    if isinstance(spec, TraceSink):
+        return spec
+    kind, _, arg = str(spec).partition(":")
+    if kind == "full":
+        return FullTraceSink()
+    if kind == "counters":
+        return CounterTraceSink()
+    if kind == "ring":
+        try:
+            capacity = int(arg)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad ring sink capacity {arg!r} in {spec!r}") from None
+        return RingTraceSink(capacity)
+    raise ConfigurationError(
+        f"unknown trace sink spec {spec!r} (use full | ring:N | counters)")

@@ -19,8 +19,9 @@ plus algorithm-specific kinds (``"ping"``, ``"decide"``, ``"duty"``, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+from repro.sim.sinks import TraceSink, make_sink
 from repro.types import ProcessId, Time
 
 
@@ -41,30 +42,81 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only sequence of :class:`TraceRecord` rows, time-ordered."""
+    """An append-only sequence of :class:`TraceRecord` rows, time-ordered.
 
-    def __init__(self) -> None:
-        self._records: list[TraceRecord] = []
+    Storage is delegated to a pluggable :class:`~repro.sim.sinks.TraceSink`
+    (``"full"`` by default; ``"ring:N"`` and ``"counters"`` bound memory on
+    long campaigns — see :mod:`repro.sim.sinks`).  Aggregate views — the
+    kind histogram, crash times, total record count, and last record time —
+    are maintained here, out-of-band, so they stay exact in every sink
+    mode; only row-level queries (:meth:`records`, :meth:`series`) are
+    limited to the sink's retained window.
+    """
+
+    def __init__(self, sink: Union[TraceSink, str, None] = None) -> None:
+        self._sink = make_sink(sink)
         self._now_fn: Optional[Callable[[], Time]] = None
+        self._kind_counts: dict[str, int] = {}
+        self._crash_times: dict[ProcessId, Time] = {}
+        self._last_time: Time = 0.0
+        self._total = 0
 
     def bind_clock(self, now_fn: Callable[[], Time]) -> None:
         self._now_fn = now_fn
+
+    # -- sink introspection --------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """The active sink mode (``full`` | ``ring:N`` | ``counters``)."""
+        return self._sink.mode
+
+    @property
+    def evicted(self) -> int:
+        """Records dropped by the sink (0 under full retention)."""
+        return self._sink.evicted
+
+    @property
+    def truncated(self) -> bool:
+        """True when row-level queries no longer see the whole history."""
+        return self._sink.evicted > 0
+
+    @property
+    def total_recorded(self) -> int:
+        """Total records ever appended, retained or not."""
+        return self._total
+
+    # -- pickling (results cross process boundaries in parallel campaigns) ---
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_now_fn"] = None  # bound clock closures don't pickle
+        return state
 
     # -- writing ------------------------------------------------------------
 
     def record(self, kind: str, pid: ProcessId, **data: Any) -> TraceRecord:
         t = self._now_fn() if self._now_fn is not None else 0.0
         rec = TraceRecord(time=t, kind=kind, pid=pid, data=data)
-        self._records.append(rec)
+        self._append(rec)
         return rec
+
+    def _append(self, rec: TraceRecord) -> None:
+        """Sink a prebuilt record and maintain the exact aggregate views."""
+        self._sink.append(rec)
+        self._total += 1
+        self._last_time = rec.time
+        self._kind_counts[rec.kind] = self._kind_counts.get(rec.kind, 0) + 1
+        if rec.kind == "crash":
+            self._crash_times[rec.pid] = rec.time
 
     # -- reading ------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._sink.retained())
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self._sink.retained())
 
     def records(
         self,
@@ -72,9 +124,9 @@ class Trace:
         pid: ProcessId | None = None,
         where: Callable[[TraceRecord], bool] | None = None,
     ) -> list[TraceRecord]:
-        """All records matching the given filters, in time order."""
+        """All retained records matching the given filters, in time order."""
         out = []
-        for r in self._records:
+        for r in self._sink.retained():
             if kind is not None and r.kind != kind:
                 continue
             if pid is not None and r.pid != pid:
@@ -98,19 +150,24 @@ class Trace:
         ]
 
     def last_time(self) -> Time:
-        """Time of the final record (0.0 for an empty trace)."""
-        return self._records[-1].time if self._records else 0.0
+        """Time of the final record (0.0 for an empty trace).
+
+        Exact in every sink mode: maintained as records are appended, not
+        recovered from the (possibly truncated) retained window.
+        """
+        return self._last_time
 
     def crash_times(self) -> dict[ProcessId, Time]:
-        """Map of crashed process -> crash time."""
-        return {r.pid: r.time for r in self.records(kind="crash")}
+        """Map of crashed process -> crash time.
+
+        Ground truth for trace checkers, so it is kept out-of-band and
+        survives ring-buffer eviction and counters-only sinks.
+        """
+        return dict(self._crash_times)
 
     def kinds(self) -> dict[str, int]:
-        """Histogram of record kinds (diagnostic aid)."""
-        out: dict[str, int] = {}
-        for r in self._records:
-            out[r.kind] = out.get(r.kind, 0) + 1
-        return out
+        """Histogram of record kinds — exact in every sink mode."""
+        return dict(self._kind_counts)
 
 
 def state_intervals(

@@ -1,0 +1,136 @@
+"""Tests for the canonical RunSpec → Runtime → RunResult path."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    INSTANCE,
+    RunSpec,
+    build_dining,
+    build_system,
+    execute,
+    instantiate,
+)
+
+
+class TestRunSpec:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec.from_dict({"graph": "ring:3", "typo_key": 1})
+
+    def test_round_trips_and_compares_by_value(self):
+        a = RunSpec.from_dict({"graph": "ring:3", "seed": 4})
+        b = RunSpec(graph="ring:3", seed=4)
+        assert a == b
+
+    def test_picklable(self):
+        import pickle
+
+        spec = RunSpec(graph="ring:3", seed=2,
+                       partition={"side": ["p0"], "start": 1.0, "end": 2.0})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestInstantiate:
+    def test_wires_graph_oracle_and_clients(self):
+        built = instantiate(RunSpec(graph="ring:3", seed=1, max_time=50.0))
+        assert sorted(built.graph.nodes) == ["p0", "p1", "p2"]
+        assert sorted(built.diners) == ["p0", "p1", "p2"]
+        assert sorted(built.system.box_modules) == ["p0", "p1", "p2"]
+        assert built.engine is built.system.engine
+
+    def test_transport_auto_installed_iff_faults(self):
+        clean = instantiate(RunSpec(graph="ring:3", max_time=10.0))
+        assert clean.system.transport is None
+        lossy = instantiate(RunSpec(graph="ring:3", drop=0.2, max_time=10.0))
+        assert lossy.system.transport is not None
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            instantiate(RunSpec(graph="ring:3", algorithm="quantum"))
+
+    def test_trace_sink_flows_to_engine(self):
+        built = instantiate(RunSpec(graph="ring:3", trace="ring:128",
+                                    max_time=10.0))
+        assert built.engine.trace.mode == "ring:128"
+
+
+class TestExecute:
+    def test_checked_result(self):
+        result = execute(RunSpec(name="r", graph="ring:3", seed=5,
+                                 max_time=800.0))
+        assert result.checked and result.ok
+        assert result.trace_mode == "full" and result.trace_evicted == 0
+        assert result.trace is not None
+        assert result.metrics.messages_sent > 0
+        assert result.summary()["wait_free"] is True
+
+    def test_counters_sink_is_metrics_only(self):
+        result = execute(RunSpec(graph="ring:3", seed=5, max_time=400.0,
+                                 trace="counters"))
+        assert not result.checked and not result.ok
+        assert result.wait_freedom is None and result.exclusion is None
+        assert result.metrics.messages_sent > 0
+        assert result.trace_mode == "counters"
+        assert result.summary()["ok"] is None
+
+    def test_large_ring_sink_matches_full_verdicts(self):
+        spec = dict(graph="ring:3", seed=5, max_time=400.0)
+        full = execute(RunSpec(**spec))
+        ring = execute(RunSpec(**spec, trace="ring:1000000"))
+        assert ring.trace_evicted == 0
+        assert ring.summary()["wait_free"] == full.summary()["wait_free"]
+        assert ring.metrics.messages_sent == full.metrics.messages_sent
+
+    def test_counters_run_costs_no_trace_memory(self):
+        result = execute(RunSpec(graph="ring:3", seed=5, max_time=400.0,
+                                 trace="counters"))
+        assert len(result.trace) == 0
+        assert result.trace.total_recorded > 0
+
+
+class TestSingleCanonicalBuilder:
+    """The four historical construction paths all land in the runtime."""
+
+    def test_scenario_is_a_runspec(self):
+        from repro.scenario import Scenario
+
+        assert issubclass(Scenario, RunSpec)
+
+    def test_scenario_report_wraps_runresult(self):
+        from repro.runtime import RunResult
+        from repro.scenario import ScenarioReport
+
+        assert issubclass(ScenarioReport, RunResult)
+
+    def test_experiments_common_delegates(self):
+        from repro.experiments import common
+        from repro.runtime import builder
+
+        assert common.build_system is builder.build_system
+        assert common.System is builder.System
+
+    def test_no_engine_wiring_outside_runtime(self):
+        """Grep-checkable acceptance criterion: scenario.py, chaos.py, and
+        experiments/common.py contain no Engine/Network/attach_detectors
+        construction of their own."""
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        for rel in ("scenario.py", "chaos.py", "experiments/common.py"):
+            source = (root / rel).read_text()
+            for needle in ("Engine(", "attach_detectors",
+                           "ReliableTransport(", "Network("):
+                assert needle not in source, f"{rel} still wires {needle}"
+
+    def test_build_dining_covers_all_algorithms(self):
+        from repro.runtime import parse_graph
+
+        graph = parse_graph("ring:3")
+        system = build_system(sorted(graph.nodes), seed=1, max_time=10.0)
+        for algo in ("wf-ewx", "hygienic", "deferred", "deferred:99",
+                     "manager", "fair:2"):
+            instance = build_dining(algo, graph, system, instance_id=INSTANCE)
+            assert instance is not None
