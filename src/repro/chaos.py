@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.analysis.report import Table
 from repro.errors import ConfigurationError
+from repro.obs import CampaignTelemetry, run_record
 from repro.runtime import ParallelExecutor
 from repro.runtime.seeds import fanout_seeds  # noqa: F401  (re-export: the
 # campaign seed fanout lives in the runtime layer; ``repro.chaos`` keeps
@@ -200,10 +201,20 @@ class RunVerdict:
             "slow": dict(self.scenario.slow) if self.scenario.slow else None,
             "messages_sent": self.report.metrics.messages_sent,
             "messages_dropped": self.report.metrics.messages_dropped,
+            "messages_duplicated": self.report.metrics.messages_duplicated,
             "retransmissions": self.report.metrics.retransmissions,
             "exclusion_violations": self.report.exclusion.count,
             "max_hungry_wait": round(self.report.wait_freedom.max_wait, 2),
+            # Detector-quality telemetry (None when the obs knob is off).
+            "convergence_time": self.report.convergence_time,
+            "wrongful_suspicions": self.report.wrongful_suspicions,
+            "suspicion_churn": self.report.suspicion_churn,
         }
+
+    def run_record(self) -> dict[str, Any]:
+        """The ``--metrics-out`` JSONL record: full metric snapshot plus
+        the flat verdict summary."""
+        return run_record(self.report, verdict=self.summary())
 
 
 def check_invariants(report: ScenarioReport, cfg: ChaosConfig) -> list[str]:
@@ -247,6 +258,15 @@ class CampaignResult:
     def failed(self) -> list[RunVerdict]:
         return [v for v in self.verdicts if not v.ok]
 
+    def run_records(self) -> list[dict[str, Any]]:
+        """The campaign's ``--metrics-out`` JSONL records, in run order."""
+        return [v.run_record() for v in self.verdicts]
+
+    def telemetry(self) -> CampaignTelemetry:
+        """Cross-seed detector-quality aggregation (p50/p95/max
+        convergence time, merged latency histograms, message totals)."""
+        return CampaignTelemetry.from_records(self.run_records())
+
     def to_json(self) -> dict[str, Any]:
         return {
             "seed": self.cfg.seed,
@@ -257,6 +277,7 @@ class CampaignResult:
             "ok": self.ok,
             "replay": {str(v.run_seed): v.replay_command(self.cfg)
                        for v in self.failed},
+            "telemetry": self.telemetry().summary(),
             "runs": [v.summary() for v in self.verdicts],
         }
 
@@ -282,6 +303,9 @@ class CampaignResult:
             lines.append(f"replay run {v.index} "
                          f"(trace {v.report.trace_mode}): "
                          f"{v.replay_command(self.cfg)}")
+        tele = self.telemetry()
+        if tele.with_metrics:
+            lines.append(tele.render(title="campaign telemetry"))
         lines.append(
             f"{sum(v.ok for v in self.verdicts)}/{len(self.verdicts)} passed")
         return "\n".join(lines)

@@ -10,9 +10,15 @@ Usage::
     python -m repro chaos --campaigns 20 --seed 1 --json
     python -m repro chaos --campaigns 64 --workers 4   # multi-core fanout
     python -m repro chaos --replay 2885616951     # reproduce one run
+    python -m repro chaos --campaigns 20 --metrics-out out.jsonl
+    python -m repro report out.jsonl              # campaign telemetry table
 
 ``--workers N`` (run/sweep/chaos) fans work over a multiprocessing pool;
 results are keyed by seed and bit-identical to the serial run.
+``--metrics-out PATH`` (run/scenario/sweep/chaos) writes one JSONL record
+per run with the full metric snapshot (docs/observability.md);
+``repro report`` aggregates such a file into p50/p95/max convergence
+time, wrongful-suspicion totals, and merged latency histograms.
 """
 
 from __future__ import annotations
@@ -37,11 +43,16 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_scenario(path: str) -> int:
+def cmd_scenario(path: str, metrics_out: str | None = None) -> int:
     from repro.scenario import Scenario
 
     report = Scenario.from_json(path).run()
     print(report.render())
+    if metrics_out is not None:
+        from repro.obs import run_record, write_jsonl
+
+        write_jsonl(metrics_out, [run_record(report)])
+        print(f"metrics written to {metrics_out}")
     return 0 if report.ok else 1
 
 
@@ -49,22 +60,29 @@ def _sweep_one(task: tuple) -> dict:
     """One sweep run (module-level so worker pools pickle it by reference)."""
     import dataclasses
 
+    from repro.obs import run_record
+
     base, seed = task
     report = dataclasses.replace(base, seed=seed).run()
     return {
-        "wait_free": 1.0 if report.wait_freedom.ok else 0.0,
-        "max_wait": report.wait_freedom.max_wait,
-        "violations": float(report.exclusion.count),
-        "last_violation": report.exclusion.last_violation_end,
-        "worst_overtaking": float(report.fairness.worst_overall()),
-        "messages": float(report.metrics.messages_sent),
+        "stats": {
+            "wait_free": 1.0 if report.wait_freedom.ok else 0.0,
+            "max_wait": report.wait_freedom.max_wait,
+            "violations": float(report.exclusion.count),
+            "last_violation": report.exclusion.last_violation_end,
+            "worst_overtaking": float(report.fairness.worst_overall()),
+            "messages": float(report.metrics.messages_sent),
+        },
+        "record": run_record(report.detach_trace()),
     }
 
 
-def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1) -> int:
+def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
+              metrics_out: str | None = None) -> int:
     """Run one scenario across ``seeds`` and aggregate the verdicts."""
     from repro.analysis.report import Table
     from repro.analysis.stats import sweep_many
+    from repro.obs import CampaignTelemetry, write_jsonl
     from repro.runtime import ParallelExecutor
     from repro.scenario import Scenario
 
@@ -72,13 +90,20 @@ def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1) -> int:
     seeds = list(seeds)
     rows = ParallelExecutor(workers=workers).map(
         _sweep_one, [(base, seed) for seed in seeds])
-    by_seed = dict(zip(seeds, rows))
+    by_seed = dict(zip(seeds, (row["stats"] for row in rows)))
     stats = sweep_many(lambda seed: by_seed[seed], seeds)
     table = Table(["metric", "mean ± std [min, max] (n)"],
                   title=f"sweep: {base.name} over {len(list(seeds))} seeds")
     for name, st in stats.items():
         table.add_row([name, st.summary()])
     print(table.render())
+    records = [row["record"] for row in rows]
+    tele = CampaignTelemetry.from_records(records)
+    if tele.with_metrics:
+        print(tele.render(title=f"sweep telemetry: {base.name}"))
+    if metrics_out is not None:
+        write_jsonl(metrics_out, records)
+        print(f"metrics written to {metrics_out}")
     return 0 if stats["wait_free"].mean == 1.0 else 1
 
 
@@ -118,6 +143,10 @@ def cmd_chaos(args) -> int:
             print(verdict.report.render())
             status = "ok" if verdict.ok else "; ".join(verdict.failures)
             print(f"\nreplay of run seed {args.replay}: {status}")
+        if args.metrics_out is not None:
+            from repro.obs import write_jsonl
+
+            write_jsonl(args.metrics_out, [verdict.run_record()])
         return 0 if verdict.ok else 1
 
     result = run_campaign(cfg, workers=args.workers)
@@ -125,7 +154,47 @@ def cmd_chaos(args) -> int:
         print(json.dumps(result.to_json(), indent=2))
     else:
         print(result.render())
+    if args.metrics_out is not None:
+        from repro.obs import write_jsonl
+
+        n = write_jsonl(args.metrics_out, result.run_records())
+        if not args.json:
+            print(f"{n} run records written to {args.metrics_out}")
     return 0 if result.ok else 1
+
+
+def cmd_report(path: str, as_json: bool = False,
+               prom_out: str | None = None) -> int:
+    """Aggregate a ``--metrics-out`` JSONL file into campaign telemetry."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.obs import (
+        EXPERIMENT_SCHEMA,
+        CampaignTelemetry,
+        read_jsonl,
+        write_prometheus,
+    )
+
+    try:
+        records = read_jsonl(path)
+    except (OSError, ConfigurationError) as exc:
+        print(f"repro report: error: {exc}", file=sys.stderr)
+        return 2
+    runs = [r for r in records if r.get("schema") != EXPERIMENT_SCHEMA]
+    if not runs:
+        print(f"repro report: no run records in {path}", file=sys.stderr)
+        return 2
+    tele = CampaignTelemetry.from_records(runs)
+    if as_json:
+        print(json.dumps(tele.summary(), indent=2, sort_keys=True))
+    else:
+        print(tele.render(title=f"campaign telemetry: {path}"))
+    if prom_out is not None:
+        write_prometheus(prom_out, tele.merged_snapshot())
+        if not as_json:
+            print(f"prometheus textfile written to {prom_out}")
+    return 0
 
 
 def _run_experiment(name: str) -> tuple:
@@ -136,7 +205,8 @@ def _run_experiment(name: str) -> tuple:
     return result, time.perf_counter() - t0
 
 
-def cmd_run(names: Sequence[str], workers: int = 1) -> int:
+def cmd_run(names: Sequence[str], workers: int = 1,
+            metrics_out: str | None = None) -> int:
     from repro.runtime import ParallelExecutor
 
     registry = _registry()
@@ -148,11 +218,20 @@ def cmd_run(names: Sequence[str], workers: int = 1) -> int:
         print("use 'python -m repro list'", file=sys.stderr)
         return 2
     failures = 0
-    for result, dt in ParallelExecutor(workers=workers).map(_run_experiment,
-                                                            names):
+    outcomes = ParallelExecutor(workers=workers).map(_run_experiment, names)
+    for result, dt in outcomes:
         print(result.render())
         print(f"\n({dt:.1f}s wall)\n{'=' * 72}")
         failures += 0 if result.ok else 1
+    if metrics_out is not None:
+        from repro.obs import experiment_record, write_jsonl
+
+        # Experiment harnesses drive their own engines, so there is no
+        # per-run snapshot here — record name/verdict/wall time instead.
+        write_jsonl(metrics_out,
+                    [experiment_record(name, result.ok, dt)
+                     for name, (result, dt) in zip(names, outcomes)])
+        print(f"experiment records written to {metrics_out}")
     return 1 if failures else 0
 
 
@@ -170,9 +249,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     runp.add_argument("--workers", type=int, default=1,
                       help="worker processes to fan experiments over "
                            "(default 1 = serial; results are identical)")
+    runp.add_argument("--metrics-out", default=None, metavar="PATH",
+                      help="write one JSONL record per experiment "
+                           "(name, verdict, wall seconds)")
     scen = sub.add_parser("scenario",
                           help="run a declarative scenario from a JSON file")
     scen.add_argument("path", help="path to the scenario JSON")
+    scen.add_argument("--metrics-out", default=None, metavar="PATH",
+                      help="write the run's metric snapshot as one JSONL "
+                           "record")
     swp = sub.add_parser("sweep",
                          help="run a scenario across a seed fanout and "
                               "aggregate statistics")
@@ -184,6 +269,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     swp.add_argument("--workers", type=int, default=1,
                      help="worker processes to fan seeds over "
                           "(default 1 = serial; results are identical)")
+    swp.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write one JSONL metric record per seed "
+                          "(deterministic: independent of --workers)")
     cha = sub.add_parser("chaos",
                          help="run a seeded randomized fault campaign and "
                               "check dining/oracle invariants per run")
@@ -213,19 +301,36 @@ def main(argv: Sequence[str] | None = None) -> int:
                           "(negative testing; expect invariant failures)")
     cha.add_argument("--json", action="store_true",
                      help="emit a machine-readable campaign summary")
+    cha.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write one JSONL metric record per run "
+                          "(deterministic: independent of --workers)")
+    rep = sub.add_parser("report",
+                         help="aggregate a --metrics-out JSONL file into "
+                              "campaign telemetry (p50/p95/max convergence "
+                              "time, latency histograms, message totals)")
+    rep.add_argument("path", help="path to the JSONL metrics file")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the aggregate as JSON instead of a table")
+    rep.add_argument("--prom-out", default=None, metavar="PATH",
+                     help="also write the merged campaign snapshot as a "
+                          "Prometheus textfile")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "scenario":
-        return cmd_scenario(args.path)
+        return cmd_scenario(args.path, metrics_out=args.metrics_out)
     if args.command == "sweep":
         from repro.runtime import fanout_seeds
 
         return cmd_sweep(args.path, fanout_seeds(args.seed, args.seeds),
-                         workers=args.workers)
+                         workers=args.workers, metrics_out=args.metrics_out)
     if args.command == "chaos":
         return cmd_chaos(args)
-    return cmd_run(args.names, workers=args.workers)
+    if args.command == "report":
+        return cmd_report(args.path, as_json=args.json,
+                          prom_out=args.prom_out)
+    return cmd_run(args.names, workers=args.workers,
+                   metrics_out=args.metrics_out)
 
 
 if __name__ == "__main__":  # pragma: no cover

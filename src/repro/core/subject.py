@@ -94,6 +94,7 @@ class SubjectThread(Component):
     def S_a(self, msg: Message) -> None:
         self.acks_received += 1
         self.shared.trigger = 1 - self.i
+        self.record("ack", instance=self.diner.instance_id)
         self._check_invariants("S_a")
 
     # -- Action S_x ------------------------------------------------------------

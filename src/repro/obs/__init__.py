@@ -1,0 +1,61 @@
+"""Detector-quality telemetry: metrics registry, probes, exporters, reports.
+
+See ``docs/observability.md`` for the full tour.  The public surface:
+
+* :class:`MetricsRegistry` / :class:`MetricsSnapshot` — collect and
+  freeze per-run metrics (``repro.obs.registry``);
+* :class:`RunProbes` — convergence / latency probes fed by the trace
+  record stream (``repro.obs.probes``);
+* :func:`run_record` / :func:`write_jsonl` / :func:`prometheus_text` —
+  stable on-disk forms (``repro.obs.exporters``);
+* :class:`CampaignTelemetry` — cross-seed aggregation behind
+  ``repro report`` (``repro.obs.report``).
+"""
+
+from repro.obs.exporters import (
+    EXPERIMENT_SCHEMA,
+    RUN_SCHEMA,
+    dumps_record,
+    experiment_record,
+    prometheus_text,
+    read_jsonl,
+    record_snapshot,
+    run_record,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.probes import RunProbes
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    percentile,
+)
+from repro.obs.report import CampaignTelemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_BUCKETS",
+    "percentile",
+    "RunProbes",
+    "CampaignTelemetry",
+    "RUN_SCHEMA",
+    "EXPERIMENT_SCHEMA",
+    "run_record",
+    "experiment_record",
+    "dumps_record",
+    "write_jsonl",
+    "read_jsonl",
+    "record_snapshot",
+    "prometheus_text",
+    "write_prometheus",
+]

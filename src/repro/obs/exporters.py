@@ -1,0 +1,162 @@
+"""Metric exporters: JSONL per-run records and Prometheus-style textfiles.
+
+Two stable on-disk forms:
+
+* **JSONL** — one JSON object per line, one line per run.  The CLI's
+  ``--metrics-out PATH`` (``repro chaos | sweep | scenario | run``)
+  appends these; ``repro report PATH`` aggregates them back into a
+  campaign table.  Run records carry the flat verdict summary plus the
+  full metric snapshot, so campaign files are self-contained.
+* **Prometheus textfile** — the node-exporter textfile-collector format
+  (``# TYPE`` headers, ``_bucket{le=...}``/``_sum``/``_count`` histogram
+  series), so a run or merged campaign snapshot can be dropped into any
+  Prometheus scrape pipeline.
+
+Records are written in run order with deterministic JSON encoding
+(sorted keys), so a campaign file produced with ``--workers N`` is
+byte-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import HistogramSnapshot, MetricsSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.result import RunResult
+
+PathLike = Union[str, pathlib.Path]
+
+#: Schema tags stamped on JSONL records.
+RUN_SCHEMA = "repro.run.v1"
+EXPERIMENT_SCHEMA = "repro.experiment.v1"
+
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def run_record(result: "RunResult", **extra: Any) -> dict[str, Any]:
+    """The JSONL record for one executed run.
+
+    ``extra`` key/values are attached at the top level (e.g. the chaos
+    runner adds its verdict block).  ``metrics`` is None when the run was
+    executed with ``obs`` disabled.
+    """
+    return {
+        "schema": RUN_SCHEMA,
+        "summary": result.summary(),
+        "metrics": result.obs.to_dict() if result.obs is not None else None,
+        **extra,
+    }
+
+
+def experiment_record(name: str, ok: bool, seconds: float) -> dict[str, Any]:
+    """The JSONL record for one experiment-harness run (no run metrics)."""
+    return {"schema": EXPERIMENT_SCHEMA, "name": name, "ok": bool(ok),
+            "seconds": round(float(seconds), 3)}
+
+
+def dumps_record(record: Mapping[str, Any]) -> str:
+    """One record as a single deterministic JSON line (sorted keys)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(path: PathLike, records: Iterable[Mapping[str, Any]]) -> int:
+    """Write records to ``path``, one per line.  Returns the line count."""
+    lines = [dumps_record(r) for r in records]
+    pathlib.Path(path).write_text(
+        "".join(line + "\n" for line in lines), encoding="utf-8")
+    return len(lines)
+
+
+def read_jsonl(path: PathLike) -> list[dict[str, Any]]:
+    """Read a JSONL metrics file back into a list of record dicts."""
+    p = pathlib.Path(path)
+    records = []
+    for i, line in enumerate(p.read_text(encoding="utf-8").splitlines()):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{p}:{i + 1}: not valid JSONL: {exc}") from exc
+    return records
+
+
+def record_snapshot(record: Mapping[str, Any]) -> "MetricsSnapshot | None":
+    """The metric snapshot embedded in a JSONL record (None if absent)."""
+    data = record.get("metrics")
+    return None if data is None else MetricsSnapshot.from_dict(data)
+
+
+# -- Prometheus textfile -----------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABELLED_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+
+
+def _prom_name(name: str) -> tuple[str, str]:
+    """Split a registry name into a sanitized Prometheus name + label part."""
+    m = _LABELLED_RE.match(name)
+    base, labels = (m.group("base"), "{" + m.group("labels") + "}") if m \
+        else (name, "")
+    return "repro_" + _NAME_RE.sub("_", base), labels
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus textfile-collector format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(name: str, mtype: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {mtype}")
+
+    for name in sorted(snapshot.counters):
+        pname, labels = _prom_name(name)
+        header(pname, "counter")
+        lines.append(f"{pname}{labels} {_fmt(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        pname, labels = _prom_name(name)
+        header(pname, "gauge")
+        lines.append(f"{pname}{labels} {_fmt(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        pname, labels = _prom_name(name)
+        header(pname, "histogram")
+        lines.extend(_histogram_lines(pname, labels,
+                                      snapshot.histograms[name]))
+    return "\n".join(lines) + "\n"
+
+
+def _histogram_lines(pname: str, labels: str,
+                     hist: HistogramSnapshot) -> list[str]:
+    inner = labels[1:-1] if labels else ""
+    def with_le(le: str) -> str:
+        parts = ([inner] if inner else []) + [f'le="{le}"']
+        return "{" + ",".join(parts) + "}"
+
+    out = []
+    cum = 0
+    for bound, n in zip(hist.buckets, hist.counts):
+        cum += n
+        out.append(f"{pname}_bucket{with_le(_fmt(bound))} {cum}")
+    out.append(f"{pname}_bucket{with_le('+Inf')} {hist.count}")
+    out.append(f"{pname}_sum{labels} {_fmt(hist.sum)}")
+    out.append(f"{pname}_count{labels} {hist.count}")
+    return out
+
+
+def _fmt(v: float) -> str:
+    return str(int(v)) if float(v).is_integer() else repr(float(v))
+
+
+def write_prometheus(path: PathLike, snapshot: MetricsSnapshot) -> None:
+    """Write ``snapshot`` to ``path`` as a Prometheus textfile."""
+    pathlib.Path(path).write_text(prometheus_text(snapshot), encoding="utf-8")

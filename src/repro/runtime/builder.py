@@ -87,6 +87,7 @@ def build_system(
     transport: "bool | RetransmitPolicy" = False,
     trace_sink: str = "full",
     record_messages: bool = False,
+    obs: bool = True,
 ) -> System:
     """Engine + per-process box-internal oracle (``"hb"`` heartbeat ◇P or
     ``"perfect"`` P substrate) + the suspicion provider dining boxes use.
@@ -102,7 +103,7 @@ def build_system(
     schedule = crash or CrashSchedule.none()
     engine = Engine(
         SimConfig(seed=seed, max_time=max_time, trace_sink=trace_sink,
-                  record_messages=record_messages),
+                  record_messages=record_messages, obs=obs),
         delay_model=delay_model or PartialSynchronyDelays(
             gst=gst, delta=delta, pre_gst_max=pre_gst_max),
         crash_schedule=schedule,
@@ -268,7 +269,7 @@ def instantiate(spec: RunSpec) -> BuiltRun:
         crash=CrashSchedule(dict(spec.crashes)), oracle=spec.oracle,
         delay_model=build_delay_model(spec), fault_model=fault_model,
         transport=use_transport, trace_sink=spec.trace,
-        record_messages=spec.record_messages,
+        record_messages=spec.record_messages, obs=spec.obs,
     )
     instance = build_dining(spec.algorithm, graph, system)
     diners = instance.attach(system.engine)
@@ -331,6 +332,7 @@ def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
         seed=spec.seed,
         end_time=eng.now,
         metrics=collect_metrics(eng),
+        obs=eng.metrics_snapshot() if spec.obs else None,
         trace_mode=eng.trace.mode,
         trace_evicted=eng.trace.evicted,
         trace=eng.trace,

@@ -16,6 +16,7 @@ from typing import Any, Optional, TYPE_CHECKING
 
 from repro.dining.fairness import FairnessReport
 from repro.dining.spec import ExclusionReport, WaitFreedomReport
+from repro.obs.registry import MetricsSnapshot
 from repro.sim.metrics import RunMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,6 +37,11 @@ class RunResult:
     seed: int = 0
     end_time: float = 0.0
     metrics: Optional[RunMetrics] = None
+    #: Full metric snapshot (:mod:`repro.obs`): traffic counters plus, when
+    #: the spec's ``obs`` knob is on, detector-quality probes (convergence
+    #: time, wrongful suspicions, latency histograms).  Plain data — it
+    #: pickles across the worker pool and serializes via ``to_dict``.
+    obs: Optional[MetricsSnapshot] = None
     wait_freedom: Optional[WaitFreedomReport] = None
     exclusion: Optional[ExclusionReport] = None
     fairness: Optional[FairnessReport] = None
@@ -81,8 +87,34 @@ class RunResult:
         self.trace = None
         return self
 
+    # -- detector-quality conveniences (from the obs snapshot) ---------------
+
+    @property
+    def convergence_time(self) -> Optional[float]:
+        """End of the last wrongful-suspicion interval (◇P convergence);
+        None when obs is off or a wrongful suspicion was still open."""
+        return None if self.obs is None \
+            else self.obs.gauge_value("oracle.converged_at")
+
+    @property
+    def wrongful_suspicions(self) -> Optional[int]:
+        return None if self.obs is None \
+            else int(self.obs.counter_value("oracle.wrongful_suspicions"))
+
+    @property
+    def suspicion_churn(self) -> Optional[int]:
+        return None if self.obs is None \
+            else int(self.obs.counter_value("oracle.suspicion_churn"))
+
     def summary(self) -> dict[str, Any]:
-        """Flat, JSON-serializable digest used by determinism comparisons."""
+        """Flat, JSON-serializable digest used by determinism comparisons.
+
+        Every field is present in every mode: verdict fields are ``None``
+        on unchecked runs, cost fields are ``None`` when no
+        :class:`RunMetrics` was collected, convergence fields are ``None``
+        when the ``obs`` knob was off.
+        """
+        m = self.metrics
         return {
             "name": self.name,
             "seed": self.seed,
@@ -97,10 +129,14 @@ class RunResult:
             "violations_justified": self.violations_justified,
             "oracle_accuracy_ok": self.oracle_accuracy_ok,
             "oracle_completeness_ok": self.oracle_completeness_ok,
-            "messages_sent": self.metrics.messages_sent,
-            "messages_dropped": self.metrics.messages_dropped,
-            "retransmissions": self.metrics.retransmissions,
-            "events_processed": self.metrics.events_processed,
+            "messages_sent": None if m is None else m.messages_sent,
+            "messages_dropped": None if m is None else m.messages_dropped,
+            "messages_duplicated": None if m is None else m.messages_duplicated,
+            "retransmissions": None if m is None else m.retransmissions,
+            "events_processed": None if m is None else m.events_processed,
+            "convergence_time": self.convergence_time,
+            "wrongful_suspicions": self.wrongful_suspicions,
+            "suspicion_churn": self.suspicion_churn,
             "trace_mode": self.trace_mode,
             "trace_evicted": self.trace_evicted,
         }

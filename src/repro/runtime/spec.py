@@ -87,6 +87,10 @@ class RunSpec:
     trace: str = "full"
     #: Record per-message send/deliver trace rows (verbose; off by default).
     record_messages: bool = False
+    #: Detector-quality telemetry (:mod:`repro.obs`): convergence probes on
+    #: the trace stream, metric snapshot on the result.  On by default; the
+    #: probes are pure arithmetic and cost little.
+    obs: bool = True
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":

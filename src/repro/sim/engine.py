@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.probes import RunProbes
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
 from repro.sim.clock import Clock
 from repro.sim.faults import CrashSchedule
 from repro.sim.link_faults import LinkFaultModel
@@ -66,6 +68,11 @@ class SimConfig:
     #: prebuilt :class:`~repro.sim.sinks.TraceSink`; bounds trace memory on
     #: long campaigns (see :mod:`repro.sim.sinks`).
     trace_sink: "str | TraceSink" = "full"
+    #: Install convergence probes (:mod:`repro.obs.probes`) on the trace
+    #: stream.  The metrics registry itself always exists (network and
+    #: transport counters live in it); this knob only controls the
+    #: detector-quality probes.
+    obs: bool = True
 
 
 class Engine:
@@ -81,8 +88,15 @@ class Engine:
         self.config = config or SimConfig()
         self.clock = Clock()
         self.rng = RngRegistry(self.config.seed)
+        #: Per-run metrics registry: network/transport counters plus (when
+        #: ``config.obs``) the convergence probes all report here.
+        self.registry = MetricsRegistry()
         self.trace = Trace(sink=self.config.trace_sink)
         self.trace.bind_clock(lambda: self.clock.now)
+        self.probes: Optional[RunProbes] = None
+        if self.config.obs:
+            self.probes = RunProbes(self.registry)
+            self.trace.subscribe(self.probes.on_record)
         self.network = Network(delay_model or AsynchronousDelays(),
                                fault_model=fault_model)
         self.network.bind(self)
@@ -186,6 +200,12 @@ class Engine:
 
     def live_pids(self) -> list[ProcessId]:
         return [pid for pid, p in self.processes.items() if not p.crashed]
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Freeze the run's metrics (finalizing probe gauges first)."""
+        if self.probes is not None:
+            self.probes.finalize(self.clock.now)
+        return self.registry.snapshot()
 
     @property
     def now(self) -> Time:

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from repro.obs.registry import MetricsRegistry
 from repro.types import Message, ProcessId, Time
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -136,18 +137,62 @@ class Network:
         #: Installed by :meth:`repro.sim.transport.ReliableTransport.install`.
         self.transport: "ReliableTransport | None" = None
         self._engine: "Engine | None" = None
-        self.sent = 0
-        self.delivered = 0
-        self.dropped = 0
-        self.duplicated = 0
-        self.sent_by_kind: dict[str, int] = {}
-        self.dropped_by_kind: dict[str, int] = {}
+        self._bind_registry(MetricsRegistry())
         #: Optional hook (msg -> None) observed on every send; used by
         #: tests and metrics, never by algorithms.
         self.on_send: Optional[Callable[[Message], None]] = None
 
+    def _bind_registry(self, registry: MetricsRegistry) -> None:
+        """Report into ``registry`` (the engine's, once bound).
+
+        All traffic counters live in the metrics registry; the classic
+        ``sent`` / ``dropped`` / ... attributes below are read-only views
+        over it, so one source of truth feeds both the in-process API and
+        every exporter.
+        """
+        self._registry = registry
+        self._c_sent = registry.counter("net.messages_sent")
+        self._c_delivered = registry.counter("net.messages_delivered")
+        self._c_dropped = registry.counter("net.messages_dropped")
+        self._c_duplicated = registry.counter("net.messages_duplicated")
+        self._kinds_sent: set[str] = set()
+        self._kinds_dropped: set[str] = set()
+
     def bind(self, engine: "Engine") -> None:
         self._engine = engine
+        self._bind_registry(engine.registry)
+
+    # -- traffic counters (registry-backed views) ----------------------------
+
+    @property
+    def sent(self) -> int:
+        return int(self._c_sent.value)
+
+    @property
+    def delivered(self) -> int:
+        return int(self._c_delivered.value)
+
+    @property
+    def dropped(self) -> int:
+        return int(self._c_dropped.value)
+
+    @property
+    def duplicated(self) -> int:
+        return int(self._c_duplicated.value)
+
+    @property
+    def sent_by_kind(self) -> dict[str, int]:
+        return {
+            k: int(self._registry.counter("net.messages_sent", kind=k).value)
+            for k in sorted(self._kinds_sent)
+        }
+
+    @property
+    def dropped_by_kind(self) -> dict[str, int]:
+        return {
+            k: int(self._registry.counter("net.messages_dropped", kind=k).value)
+            for k in sorted(self._kinds_dropped)
+        }
 
     def send(self, msg: Message) -> None:
         """Accept an application message for delayed, non-FIFO delivery.
@@ -160,8 +205,9 @@ class Network:
         """
         engine = self._engine
         assert engine is not None, "network not bound to an engine"
-        self.sent += 1
-        self.sent_by_kind[msg.kind] = self.sent_by_kind.get(msg.kind, 0) + 1
+        self._c_sent.inc()
+        self._kinds_sent.add(msg.kind)
+        self._registry.counter("net.messages_sent", kind=msg.kind).inc()
         if self.on_send is not None:
             self.on_send(msg)
         if engine.config.record_messages:
@@ -183,9 +229,10 @@ class Network:
             fate = self.fault_model.fate(
                 msg, engine.clock.now, engine.rng.stream("link-faults"))
             if fate.dropped:
-                self.dropped += 1
-                self.dropped_by_kind[msg.kind] = (
-                    self.dropped_by_kind.get(msg.kind, 0) + 1)
+                self._c_dropped.inc()
+                self._kinds_dropped.add(msg.kind)
+                self._registry.counter(
+                    "net.messages_dropped", kind=msg.kind).inc()
                 if engine.config.record_messages:
                     engine.trace.record(
                         "drop", pid=msg.sender, to=msg.receiver, tag=msg.tag,
@@ -193,7 +240,7 @@ class Network:
                     )
                 return
             if fate.duplicated:
-                self.duplicated += 1
+                self._c_duplicated.inc()
             copies = fate.copies
         rng = engine.rng.stream("network")
         for _ in range(copies):
@@ -201,7 +248,7 @@ class Network:
             engine.schedule_delivery(msg, engine.clock.now + d)
 
     def note_delivered(self, msg: Message) -> None:
-        self.delivered += 1
+        self._c_delivered.inc()
 
 
 def mean_delay_estimate(model: DelayModel, now: Time, samples: int = 256,

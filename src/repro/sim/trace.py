@@ -60,9 +60,20 @@ class Trace:
         self._crash_times: dict[ProcessId, Time] = {}
         self._last_time: Time = 0.0
         self._total = 0
+        self._observers: list[Callable[[TraceRecord], None]] = []
 
     def bind_clock(self, now_fn: Callable[[], Time]) -> None:
         self._now_fn = now_fn
+
+    def subscribe(self, observer: Callable[[TraceRecord], None]) -> None:
+        """Observe every record as it is appended, *before* sink retention.
+
+        Subscribers (e.g. :class:`repro.obs.probes.RunProbes`) see the full
+        record stream regardless of sink mode, so anything computed from
+        the stream stays exact under ``ring:N`` and ``counters`` sinks.
+        Observers are run-local and are not pickled with the trace.
+        """
+        self._observers.append(observer)
 
     # -- sink introspection --------------------------------------------------
 
@@ -90,7 +101,8 @@ class Trace:
 
     def __getstate__(self) -> dict[str, Any]:
         state = dict(self.__dict__)
-        state["_now_fn"] = None  # bound clock closures don't pickle
+        state["_now_fn"] = None   # bound clock closures don't pickle
+        state["_observers"] = []  # run-local; may close over live objects
         return state
 
     # -- writing ------------------------------------------------------------
@@ -109,6 +121,8 @@ class Trace:
         self._kind_counts[rec.kind] = self._kind_counts.get(rec.kind, 0) + 1
         if rec.kind == "crash":
             self._crash_times[rec.pid] = rec.time
+        for observer in self._observers:
+            observer(rec)
 
     # -- reading ------------------------------------------------------------
 

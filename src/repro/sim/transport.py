@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.registry import MetricsRegistry
 from repro.types import Message, Time
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -108,12 +109,18 @@ class ReliableTransport:
         self._pending: dict[tuple[Link, int], _Pending] = {}
         # Per-link dedup state: [highest contiguous seq seen, sparse seqs above].
         self._seen: dict[Link, list] = {}
-        self.data_sent = 0
-        self.retransmissions = 0
-        self.acks_sent = 0
-        self.duplicates_suppressed = 0
-        self.delivered_unique = 0
-        self.abandoned = 0
+        self._bind_registry(MetricsRegistry())
+
+    def _bind_registry(self, registry: MetricsRegistry) -> None:
+        """Report counters into ``registry`` (the engine's, once installed)."""
+        self._c_data_sent = registry.counter("transport.data_sent")
+        self._c_retransmissions = registry.counter("transport.retransmissions")
+        self._c_acks_sent = registry.counter("transport.acks_sent")
+        self._c_dup_suppressed = registry.counter(
+            "transport.duplicates_suppressed")
+        self._c_delivered_unique = registry.counter(
+            "transport.delivered_unique")
+        self._c_abandoned = registry.counter("transport.abandoned")
 
     # -- wiring ---------------------------------------------------------------
 
@@ -126,7 +133,34 @@ class ReliableTransport:
             raise ConfigurationError("engine already has a transport")
         self._engine = engine
         engine.network.transport = self
+        self._bind_registry(engine.registry)
         return self
+
+    # -- counters (registry-backed views) --------------------------------------
+
+    @property
+    def data_sent(self) -> int:
+        return int(self._c_data_sent.value)
+
+    @property
+    def retransmissions(self) -> int:
+        return int(self._c_retransmissions.value)
+
+    @property
+    def acks_sent(self) -> int:
+        return int(self._c_acks_sent.value)
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        return int(self._c_dup_suppressed.value)
+
+    @property
+    def delivered_unique(self) -> int:
+        return int(self._c_delivered_unique.value)
+
+    @property
+    def abandoned(self) -> int:
+        return int(self._c_abandoned.value)
 
     def owns(self, msg: Message) -> bool:
         """Is ``msg`` a transport wire envelope (vs. application traffic)?"""
@@ -142,7 +176,7 @@ class ReliableTransport:
         self._next_seq[link] = seq
         self._pending[(link, seq)] = _Pending(inner=msg,
                                               rto=self.policy.rto_initial)
-        self.data_sent += 1
+        self._c_data_sent.inc()
         self._transmit_data(link, seq, msg)
         self._arm_timer(link, seq)
 
@@ -159,14 +193,14 @@ class ReliableTransport:
             ack = Message(sender=envelope.receiver, receiver=envelope.sender,
                           tag=TRANSPORT_TAG, kind=ACK_KIND,
                           payload={"seq": seq})
-            self.acks_sent += 1
+            self._c_acks_sent.inc()
             engine.network.transmit(ack)
             if self._mark_seen(link, seq):
                 inner: Message = envelope.payload["inner"]
-                self.delivered_unique += 1
+                self._c_delivered_unique.inc()
                 engine.deliver_payload(inner)
             else:
-                self.duplicates_suppressed += 1
+                self._c_dup_suppressed.inc()
         elif envelope.kind == ACK_KIND:
             link = (envelope.receiver, envelope.sender)
             self._pending.pop((link, seq), None)
@@ -206,11 +240,11 @@ class ReliableTransport:
             # A crashed sender stops (crash-stop); a crashed receiver will
             # never ack and is owed no delivery — drop the retry chain.
             del self._pending[(link, seq)]
-            self.abandoned += 1
+            self._c_abandoned.inc()
             return
         entry.attempts += 1
         entry.rto = min(entry.rto * self.policy.backoff, self.policy.rto_max)
-        self.retransmissions += 1
+        self._c_retransmissions.inc()
         self._transmit_data(link, seq, entry.inner)
         self._arm_timer(link, seq)
 

@@ -1,0 +1,106 @@
+"""Exporter formats: JSONL records and Prometheus textfiles."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import (
+    EXPERIMENT_SCHEMA,
+    RUN_SCHEMA,
+    dumps_record,
+    experiment_record,
+    prometheus_text,
+    read_jsonl,
+    record_snapshot,
+    run_record,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.builder import execute
+from repro.runtime.spec import RunSpec
+
+
+@pytest.fixture(scope="module")
+def result():
+    return execute(RunSpec(name="exp", graph="ring:3", seed=2,
+                           max_time=400.0))
+
+
+class TestJsonl:
+    def test_run_record_shape(self, result):
+        record = run_record(result, verdict={"ok": True})
+        assert record["schema"] == RUN_SCHEMA
+        assert record["summary"]["seed"] == 2
+        assert record["metrics"] is not None
+        assert record["verdict"] == {"ok": True}
+
+    def test_run_record_without_obs(self, result):
+        stripped = execute(RunSpec(name="exp", graph="ring:3", seed=2,
+                                   max_time=200.0, obs=False))
+        assert run_record(stripped)["metrics"] is None
+        assert record_snapshot(run_record(stripped)) is None
+
+    def test_experiment_record(self):
+        record = experiment_record("e1", True, 0.12345)
+        assert record["schema"] == EXPERIMENT_SCHEMA
+        assert record == json.loads(dumps_record(record))
+
+    def test_dumps_is_deterministic(self, result):
+        a = dumps_record(run_record(result))
+        b = dumps_record(json.loads(a))
+        assert a == b
+        assert "\n" not in a
+
+    def test_write_read_round_trip(self, result, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        records = [run_record(result), experiment_record("e1", True, 1.0)]
+        assert write_jsonl(path, records) == 2
+        back = read_jsonl(path)
+        assert len(back) == 2
+        snap = record_snapshot(back[0])
+        assert snap == result.obs
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            read_jsonl(path)
+
+
+class TestPrometheus:
+    def test_textfile_format(self):
+        reg = MetricsRegistry()
+        reg.counter("net.messages_sent").inc(3)
+        reg.counter("net.messages_sent", kind="ping").inc(2)
+        reg.gauge("oracle.converged_at").set(42.5)
+        h = reg.histogram("dining.hungry_to_eating", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = prometheus_text(reg.snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_net_messages_sent counter" in lines
+        assert "repro_net_messages_sent 3" in lines
+        assert 'repro_net_messages_sent{kind="ping"} 2' in lines
+        assert "repro_oracle_converged_at 42.5" in lines
+        # Cumulative bucket counts with an explicit +Inf bucket.
+        assert 'repro_dining_hungry_to_eating_bucket{le="1"} 1' in lines
+        assert 'repro_dining_hungry_to_eating_bucket{le="2"} 1' in lines
+        assert 'repro_dining_hungry_to_eating_bucket{le="+Inf"} 2' in lines
+        assert "repro_dining_hungry_to_eating_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_type_header_emitted_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("c", kind="a").inc()
+        reg.counter("c", kind="b").inc()
+        text = prometheus_text(reg.snapshot())
+        assert text.count("# TYPE repro_c counter") == 1
+
+    def test_write_prometheus(self, result, tmp_path):
+        path = tmp_path / "run.prom"
+        write_prometheus(path, result.obs)
+        content = path.read_text()
+        assert "repro_net_messages_sent" in content
+        assert "repro_oracle_converged_at" in content

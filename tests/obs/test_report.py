@@ -1,0 +1,119 @@
+"""Campaign aggregation: cross-seed telemetry and its chaos/CLI surface."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chaos import ChaosConfig, run_campaign
+from repro.obs import (
+    CampaignTelemetry,
+    dumps_record,
+    run_record,
+)
+from repro.runtime.builder import execute
+from repro.runtime.spec import RunSpec
+
+
+@pytest.fixture(scope="module")
+def results():
+    base = RunSpec(name="agg", graph="ring:3", max_time=400.0,
+                   crashes={"p1": 150.0})
+    return [execute(dataclasses.replace(base, seed=s)) for s in (1, 2, 3)]
+
+
+class TestCampaignTelemetry:
+    def test_from_results_counts_runs(self, results):
+        tele = CampaignTelemetry.from_results(results)
+        assert tele.runs == 3
+        assert tele.with_metrics == 3
+        assert len(tele.convergence_times) == 3
+
+    def test_from_records_equals_from_results(self, results):
+        records = [run_record(r) for r in results]
+        # Through a JSON round-trip, as `repro report` would see them.
+        records = [json.loads(dumps_record(r)) for r in records]
+        a = CampaignTelemetry.from_results(results).summary()
+        b = CampaignTelemetry.from_records(records).summary()
+        assert a == b
+
+    def test_convergence_stats_ordered(self, results):
+        stats = CampaignTelemetry.from_results(results).convergence_stats()
+        assert stats["unconverged"] == 0
+        assert stats["p50"] <= stats["p95"] <= stats["max"]
+
+    def test_unconverged_runs_counted_separately(self):
+        converged = {"schema": "repro.run.v1", "summary": {"ok": True},
+                     "metrics": {"counters": {}, "histograms": {},
+                                 "gauges": {"oracle.converged_at": 50.0}}}
+        unconverged = {"schema": "repro.run.v1", "summary": {"ok": False},
+                       "metrics": {"counters": {}, "histograms": {},
+                                   "gauges": {"oracle.wrongful_open": 2.0}}}
+        tele = CampaignTelemetry.from_records([converged, unconverged])
+        stats = tele.convergence_stats()
+        assert stats["unconverged"] == 1
+        assert stats["max"] == 50.0
+
+    def test_runs_without_metrics_still_counted(self):
+        tele = CampaignTelemetry.from_records(
+            [{"schema": "repro.run.v1", "summary": {"ok": True},
+              "metrics": None}])
+        assert tele.runs == 1
+        assert tele.with_metrics == 0
+        assert tele.convergence_stats()["p50"] is None
+
+    def test_histograms_merge_across_runs(self, results):
+        tele = CampaignTelemetry.from_results(results)
+        merged = tele.merged["dining.hungry_to_eating"]
+        assert merged.count == sum(
+            r.obs.histogram("dining.hungry_to_eating").count for r in results)
+
+    def test_summary_and_render(self, results):
+        tele = CampaignTelemetry.from_results(results)
+        summary = tele.summary()
+        assert summary["runs"] == 3
+        assert set(summary["convergence_time"]) == {"p50", "p95", "max",
+                                                    "unconverged"}
+        text = tele.render()
+        assert "convergence time p50" in text
+        assert "convergence time p95" in text
+        assert "convergence time max" in text
+
+    def test_merged_snapshot_has_campaign_gauges(self, results):
+        snap = CampaignTelemetry.from_results(results).merged_snapshot()
+        assert snap.gauge_value("campaign.runs") == 3.0
+        assert snap.gauge_value("campaign.convergence_time_p95") is not None
+        assert snap.counter_value("net.messages_sent") > 0
+
+    def test_summary_is_json_safe(self, results):
+        json.dumps(CampaignTelemetry.from_results(results).summary())
+
+
+class TestChaosIntegration:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(ChaosConfig(campaigns=2, seed=13,
+                                        max_time=300.0))
+
+    def test_verdict_summary_has_telemetry_fields(self, campaign):
+        for verdict in campaign.verdicts:
+            summary = verdict.summary()
+            assert "messages_duplicated" in summary
+            assert "convergence_time" in summary
+            assert summary["wrongful_suspicions"] is not None
+
+    def test_campaign_json_has_telemetry_block(self, campaign):
+        data = campaign.to_json()
+        assert "telemetry" in data
+        assert data["telemetry"]["runs"] == 2
+        json.dumps(data)
+
+    def test_render_includes_telemetry_table(self, campaign):
+        assert "campaign telemetry" in campaign.render()
+
+    def test_run_records_parse_and_are_deterministic_across_workers(self):
+        cfg = ChaosConfig(campaigns=2, seed=13, max_time=300.0)
+        serial = run_campaign(cfg, workers=1).run_records()
+        parallel = run_campaign(cfg, workers=2).run_records()
+        assert [dumps_record(r) for r in serial] == \
+               [dumps_record(r) for r in parallel]
