@@ -24,7 +24,21 @@ depends on:
 * experiment harnesses reproducing every theorem, lemma, and figure
   (:mod:`repro.experiments`; run them with ``python -m repro``).
 
-Quickstart::
+Quickstart — the one-call front door (:func:`repro.run` /
+:func:`repro.sweep`, see :mod:`repro.api`)::
+
+    import repro
+
+    spec = repro.RunSpec(name="demo", graph="ring:5", seed=7,
+                         crashes={"p1": 400.0}, max_time=1200.0)
+    result = repro.run(spec)            # build -> simulate -> judge
+    assert result.ok                    # wait-free despite the crash
+    print(result.summary())             # flat JSON-able digest
+
+    results = repro.sweep(spec, runs=8, workers=2)   # seed fan-out
+    print(sum(r.ok for r in results), "of", len(results), "runs ok")
+
+Going deeper — driving the reduction machinery directly::
 
     from repro.experiments.common import build_system, wf_box
     from repro.core import build_full_extraction
@@ -36,6 +50,7 @@ Quickstart::
     print(detectors["p"].suspects())   # ◇P output extracted from dining
 """
 
+from repro.api import run, sweep
 from repro.core import ExtractedDetector, ReductionPair, build_full_extraction
 from repro.dining import (
     DeferredExclusionDining,
@@ -56,6 +71,7 @@ from repro.oracles import (
     StrongDetector,
     TrustingDetector,
 )
+from repro.runtime import RunResult, RunSpec, fanout_seeds
 from repro.sim import Engine, SimConfig
 from repro.sim.faults import CrashSchedule
 from repro.types import DinerState, Message, ProcessId, Time
@@ -78,6 +94,8 @@ __all__ = [
     "ProcessId",
     "ReductionPair",
     "ReproError",
+    "RunResult",
+    "RunSpec",
     "SimConfig",
     "SimulationError",
     "SpecificationViolation",
@@ -86,5 +104,8 @@ __all__ = [
     "TrustingDetector",
     "WaitFreeEWXDining",
     "build_full_extraction",
+    "fanout_seeds",
+    "run",
+    "sweep",
     "__version__",
 ]

@@ -72,6 +72,11 @@ class ChaosConfig:
     #: to the algorithms (negative testing — expect failures).
     transport: bool = True
     oracle: str = "hb"
+    #: Trace-sink mode for every run (``full`` | ``ring:N`` | ``counters``).
+    #: ``counters`` retains no rows, so runs execute *unchecked* (metrics
+    #: only — the mode long perf campaigns use); :func:`check_invariants`
+    #: then has nothing to judge and reports no failures.
+    trace: str = "full"
 
     def __post_init__(self) -> None:
         for name in ("drop_max", "duplicate_max", "partition_prob",
@@ -98,6 +103,8 @@ class ChaosConfig:
                 flags.append(f"{flag} {value}")
         if not self.transport:
             flags.append("--no-transport")
+        if self.trace != default.trace:
+            flags.append(f"--trace-sink {self.trace}")
         return " ".join(flags)
 
 
@@ -159,6 +166,7 @@ def build_run(run_seed: int, cfg: ChaosConfig) -> Scenario:
         transport=({"rto_initial": cfg.rto_initial, "rto_max": cfg.rto_max}
                    if cfg.transport else False),
         slow=slow,
+        trace=cfg.trace,
     )
 
 
@@ -203,8 +211,10 @@ class RunVerdict:
             "messages_dropped": self.report.metrics.messages_dropped,
             "messages_duplicated": self.report.metrics.messages_duplicated,
             "retransmissions": self.report.metrics.retransmissions,
-            "exclusion_violations": self.report.exclusion.count,
-            "max_hungry_wait": round(self.report.wait_freedom.max_wait, 2),
+            "exclusion_violations": (self.report.exclusion.count
+                                     if self.report.checked else None),
+            "max_hungry_wait": (round(self.report.wait_freedom.max_wait, 2)
+                                if self.report.checked else None),
             # Detector-quality telemetry (None when the obs knob is off).
             "convergence_time": self.report.convergence_time,
             "wrongful_suspicions": self.report.wrongful_suspicions,
@@ -218,7 +228,15 @@ class RunVerdict:
 
 
 def check_invariants(report: ScenarioReport, cfg: ChaosConfig) -> list[str]:
-    """The per-run invariant battery; empty list = all good."""
+    """The per-run invariant battery; empty list = all good.
+
+    An *unchecked* report (``counters`` trace sink: no rows retained, so
+    the checkers never ran) has nothing to judge — such runs are
+    metrics-only by construction and report no failures; the verdict's
+    ``trace_mode`` field keeps that visible downstream.
+    """
+    if not report.checked:
+        return []
     failures = []
     if not report.wait_freedom.ok:
         failures.append(

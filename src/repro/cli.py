@@ -1,4 +1,4 @@
-"""Command-line entry point: experiments, scenarios, sweeps, chaos.
+"""Command-line entry point: experiments, scenarios, sweeps, chaos, bench.
 
 Usage::
 
@@ -12,13 +12,31 @@ Usage::
     python -m repro chaos --replay 2885616951     # reproduce one run
     python -m repro chaos --campaigns 20 --metrics-out out.jsonl
     python -m repro report out.jsonl              # campaign telemetry table
+    python -m repro bench                         # engine microbenchmarks
+    python -m repro bench --check                 # fail on perf regression
 
-``--workers N`` (run/sweep/chaos) fans work over a multiprocessing pool;
-results are keyed by seed and bit-identical to the serial run.
-``--metrics-out PATH`` (run/scenario/sweep/chaos) writes one JSONL record
-per run with the full metric snapshot (docs/observability.md);
-``repro report`` aggregates such a file into p50/p95/max convergence
-time, wrongful-suspicion totals, and merged latency histograms.
+Four flags are accepted uniformly by ``run``/``scenario``/``sweep``/
+``chaos`` (shared argparse parent parsers, so helptext and defaults stay
+in lockstep):
+
+* ``--workers N`` fans work over a multiprocessing pool; results are
+  keyed by seed and bit-identical to the serial run (single-run commands
+  accept the flag for interface uniformity and note that it is unused);
+* ``--metrics-out PATH`` writes one JSONL record per run with the full
+  metric snapshot (docs/observability.md); ``repro report`` aggregates
+  such a file into p50/p95/max convergence time, wrongful-suspicion
+  totals, and merged latency histograms;
+* ``--trace-sink SPEC`` (``full`` | ``ring:N`` | ``counters``) overrides
+  the run's trace retention — ``counters`` turns verdict checking off
+  (metrics-only runs; see docs/runtime.md);
+* ``--profile-out PATH`` wraps the command in :mod:`cProfile` and dumps
+  a pstats file for ``python -m pstats`` / snakeviz
+  (docs/performance.md).
+
+``repro bench`` runs the deterministic microbench harness
+(:mod:`repro.perf.bench`) and emits ``BENCH_engine.json``-shaped output;
+``--check`` compares against the committed baseline and fails on a
+``--max-regression``-fold slowdown (the CI ``bench-smoke`` job).
 """
 
 from __future__ import annotations
@@ -43,16 +61,25 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_scenario(path: str, metrics_out: str | None = None) -> int:
+def cmd_scenario(path: str, metrics_out: str | None = None,
+                 trace_sink: str | None = None) -> int:
+    import dataclasses
+
     from repro.scenario import Scenario
 
-    report = Scenario.from_json(path).run()
+    spec = Scenario.from_json(path)
+    if trace_sink is not None:
+        spec = dataclasses.replace(spec, trace=trace_sink)
+    report = spec.run()
     print(report.render())
     if metrics_out is not None:
         from repro.obs import run_record, write_jsonl
 
         write_jsonl(metrics_out, [run_record(report)])
         print(f"metrics written to {metrics_out}")
+    if not report.checked:
+        # counters-sink run: metrics-only, no verdict to gate the exit on.
+        return 0
     return 0 if report.ok else 1
 
 
@@ -64,22 +91,27 @@ def _sweep_one(task: tuple) -> dict:
 
     base, seed = task
     report = dataclasses.replace(base, seed=seed).run()
-    return {
-        "stats": {
+    stats = {"messages": float(report.metrics.messages_sent)}
+    if report.checked:
+        stats.update({
             "wait_free": 1.0 if report.wait_freedom.ok else 0.0,
             "max_wait": report.wait_freedom.max_wait,
             "violations": float(report.exclusion.count),
             "last_violation": report.exclusion.last_violation_end,
             "worst_overtaking": float(report.fairness.worst_overall()),
-            "messages": float(report.metrics.messages_sent),
-        },
+        })
+    return {
+        "stats": stats,
         "record": run_record(report.detach_trace()),
     }
 
 
 def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
-              metrics_out: str | None = None) -> int:
+              metrics_out: str | None = None,
+              trace_sink: str | None = None) -> int:
     """Run one scenario across ``seeds`` and aggregate the verdicts."""
+    import dataclasses
+
     from repro.analysis.report import Table
     from repro.analysis.stats import sweep_many
     from repro.obs import CampaignTelemetry, write_jsonl
@@ -87,6 +119,8 @@ def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
     from repro.scenario import Scenario
 
     base = Scenario.from_json(path)
+    if trace_sink is not None:
+        base = dataclasses.replace(base, trace=trace_sink)
     seeds = list(seeds)
     rows = ParallelExecutor(workers=workers).map(
         _sweep_one, [(base, seed) for seed in seeds])
@@ -104,6 +138,8 @@ def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
     if metrics_out is not None:
         write_jsonl(metrics_out, records)
         print(f"metrics written to {metrics_out}")
+    if "wait_free" not in stats:
+        return 0  # unchecked (counters-sink) sweep: metrics-only
     return 0 if stats["wait_free"].mean == 1.0 else 1
 
 
@@ -120,6 +156,7 @@ def _chaos_config(args) -> "ChaosConfig":
         slow_prob=args.slow_prob,
         max_time=args.max_time,
         transport=not args.no_transport,
+        trace=args.trace_sink or "full",
     )
 
 
@@ -197,6 +234,51 @@ def cmd_report(path: str, as_json: bool = False,
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the engine microbench harness (see docs/performance.md)."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.perf.bench import (
+        check_regressions,
+        compare_to_baseline,
+        emit_report,
+        load_baseline,
+        render_results,
+        run_bench,
+    )
+
+    try:
+        results = run_bench(args.workloads or None, budget=args.budget)
+        baseline = load_baseline(args.baseline)
+    except ConfigurationError as exc:
+        print(f"repro bench: error: {exc}", file=sys.stderr)
+        return 2
+    speedups = compare_to_baseline(results, baseline)
+    payload = emit_report(results, baseline, out=args.out)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_results(results, speedups))
+        if args.out:
+            print(f"bench report written to {args.out}")
+    if args.check:
+        failures = check_regressions(results, baseline,
+                                     max_regression=args.max_regression)
+        if baseline is None:
+            print("repro bench: --check requested but no baseline found",
+                  file=sys.stderr)
+            return 2
+        if failures:
+            for failure in failures:
+                print(f"repro bench: regression: {failure}", file=sys.stderr)
+            return 1
+        if not args.json:
+            print(f"no regression beyond {args.max_regression:g}x "
+                  "vs baseline")
+    return 0
+
+
 def _run_experiment(name: str) -> tuple:
     """One experiment by id, timed (module-level for worker pools)."""
     registry = _registry()
@@ -206,10 +288,17 @@ def _run_experiment(name: str) -> tuple:
 
 
 def cmd_run(names: Sequence[str], workers: int = 1,
-            metrics_out: str | None = None) -> int:
+            metrics_out: str | None = None,
+            trace_sink: str | None = None) -> int:
     from repro.runtime import ParallelExecutor
 
     registry = _registry()
+    if trace_sink is not None:
+        # Experiment harnesses wire their own engines and verdicts need
+        # retained traces, so the flag is accepted (interface uniformity)
+        # but does not reach them.
+        print("note: --trace-sink does not apply to experiment harnesses; "
+              "ignored", file=sys.stderr)
     if list(names) == ["all"]:
         names = list(registry)
     unknown = [n for n in names if n not in registry]
@@ -235,6 +324,32 @@ def cmd_run(names: Sequence[str], workers: int = 1,
     return 1 if failures else 0
 
 
+def _common_parents() -> list[argparse.ArgumentParser]:
+    """The flag set shared by ``run``/``scenario``/``sweep``/``chaos``.
+
+    One parser per flag so helptext, metavar, and default are declared
+    exactly once; ``parents=`` composes them per subcommand.
+    """
+    workers = argparse.ArgumentParser(add_help=False)
+    workers.add_argument("--workers", type=int, default=1,
+                         help="worker processes to fan runs over (default 1 "
+                              "= serial; per-seed results are identical)")
+    metrics = argparse.ArgumentParser(add_help=False)
+    metrics.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write one JSONL metric record per run "
+                              "(deterministic: independent of --workers)")
+    trace = argparse.ArgumentParser(add_help=False)
+    trace.add_argument("--trace-sink", default=None, metavar="SPEC",
+                       help="trace retention override: full | ring:N | "
+                            "counters (counters = metrics-only, no verdict "
+                            "checking)")
+    profile = argparse.ArgumentParser(add_help=False)
+    profile.add_argument("--profile-out", default=None, metavar="PATH",
+                         help="profile the command with cProfile and dump "
+                              "pstats to PATH")
+    return [workers, metrics, trace, profile]
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -242,23 +357,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "Detector for Wait-Free Dining under Eventual Weak "
                     "Exclusion'",
     )
+    parents = _common_parents()
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids and titles")
-    runp = sub.add_parser("run", help="run experiments by id ('all' for every one)")
-    runp.add_argument("names", nargs="+", help="experiment ids, e.g. e1 e4, or 'all'")
-    runp.add_argument("--workers", type=int, default=1,
-                      help="worker processes to fan experiments over "
-                           "(default 1 = serial; results are identical)")
-    runp.add_argument("--metrics-out", default=None, metavar="PATH",
-                      help="write one JSONL record per experiment "
-                           "(name, verdict, wall seconds)")
-    scen = sub.add_parser("scenario",
+    runp = sub.add_parser("run", parents=parents,
+                          help="run experiments by id ('all' for every one)")
+    runp.add_argument("names", nargs="+",
+                      help="experiment ids, e.g. e1 e4, or 'all'")
+    scen = sub.add_parser("scenario", parents=parents,
                           help="run a declarative scenario from a JSON file")
     scen.add_argument("path", help="path to the scenario JSON")
-    scen.add_argument("--metrics-out", default=None, metavar="PATH",
-                      help="write the run's metric snapshot as one JSONL "
-                           "record")
-    swp = sub.add_parser("sweep",
+    swp = sub.add_parser("sweep", parents=parents,
                          help="run a scenario across a seed fanout and "
                               "aggregate statistics")
     swp.add_argument("path", help="path to the scenario JSON")
@@ -266,13 +375,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="number of derived seeds (default 8)")
     swp.add_argument("--seed", type=int, default=0,
                      help="base seed the fanout derives from (default 0)")
-    swp.add_argument("--workers", type=int, default=1,
-                     help="worker processes to fan seeds over "
-                          "(default 1 = serial; results are identical)")
-    swp.add_argument("--metrics-out", default=None, metavar="PATH",
-                     help="write one JSONL metric record per seed "
-                          "(deterministic: independent of --workers)")
-    cha = sub.add_parser("chaos",
+    cha = sub.add_parser("chaos", parents=parents,
                          help="run a seeded randomized fault campaign and "
                               "check dining/oracle invariants per run")
     cha.add_argument("--campaigns", type=int, default=20,
@@ -293,17 +396,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="probability a run gets a targeted-delay adversary")
     cha.add_argument("--max-time", type=float, default=900.0,
                      help="virtual horizon per run")
-    cha.add_argument("--workers", type=int, default=1,
-                     help="worker processes to fan runs over (default 1 = "
-                          "serial; per-seed verdicts are identical)")
     cha.add_argument("--no-transport", action="store_true",
                      help="expose raw lossy links to the algorithms "
                           "(negative testing; expect invariant failures)")
     cha.add_argument("--json", action="store_true",
                      help="emit a machine-readable campaign summary")
-    cha.add_argument("--metrics-out", default=None, metavar="PATH",
-                     help="write one JSONL metric record per run "
-                          "(deterministic: independent of --workers)")
     rep = sub.add_parser("report",
                          help="aggregate a --metrics-out JSONL file into "
                               "campaign telemetry (p50/p95/max convergence "
@@ -314,23 +411,57 @@ def main(argv: Sequence[str] | None = None) -> int:
     rep.add_argument("--prom-out", default=None, metavar="PATH",
                      help="also write the merged campaign snapshot as a "
                           "Prometheus textfile")
+    ben = sub.add_parser("bench",
+                         help="run the engine microbench harness and "
+                              "compare against the committed baseline")
+    ben.add_argument("--workloads", nargs="*", default=None,
+                     help="workload names (default: all; see "
+                          "repro.perf.bench.WORKLOADS)")
+    ben.add_argument("--budget", type=float, default=1.5,
+                     help="timed seconds per workload (default 1.5)")
+    ben.add_argument("--out", default=None, metavar="PATH",
+                     help="write the BENCH_engine.json payload to PATH")
+    ben.add_argument("--baseline", default=None, metavar="PATH",
+                     help="baseline JSON to compare against (default: the "
+                          "committed BENCH_engine_baseline.json)")
+    ben.add_argument("--check", action="store_true",
+                     help="exit nonzero on a --max-regression-fold slowdown "
+                          "vs the baseline")
+    ben.add_argument("--max-regression", type=float, default=3.0,
+                     help="tolerated slowdown factor for --check "
+                          "(default 3.0; bench hosts vary)")
+    ben.add_argument("--json", action="store_true",
+                     help="emit the bench payload as JSON")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
-    if args.command == "scenario":
-        return cmd_scenario(args.path, metrics_out=args.metrics_out)
-    if args.command == "sweep":
-        from repro.runtime import fanout_seeds
-
-        return cmd_sweep(args.path, fanout_seeds(args.seed, args.seeds),
-                         workers=args.workers, metrics_out=args.metrics_out)
-    if args.command == "chaos":
-        return cmd_chaos(args)
     if args.command == "report":
         return cmd_report(args.path, as_json=args.json,
                           prom_out=args.prom_out)
-    return cmd_run(args.names, workers=args.workers,
-                   metrics_out=args.metrics_out)
+    if args.command == "bench":
+        return cmd_bench(args)
+
+    from repro.perf.profiler import profile_to
+
+    with profile_to(args.profile_out):
+        if args.command == "scenario":
+            if args.workers != 1:
+                print("note: --workers does not apply to a single scenario "
+                      "run; ignored", file=sys.stderr)
+            return cmd_scenario(args.path, metrics_out=args.metrics_out,
+                                trace_sink=args.trace_sink)
+        if args.command == "sweep":
+            from repro.runtime import fanout_seeds
+
+            return cmd_sweep(args.path, fanout_seeds(args.seed, args.seeds),
+                             workers=args.workers,
+                             metrics_out=args.metrics_out,
+                             trace_sink=args.trace_sink)
+        if args.command == "chaos":
+            return cmd_chaos(args)
+        return cmd_run(args.names, workers=args.workers,
+                       metrics_out=args.metrics_out,
+                       trace_sink=args.trace_sink)
 
 
 if __name__ == "__main__":  # pragma: no cover

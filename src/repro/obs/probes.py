@@ -57,6 +57,11 @@ class RunProbes:
     gauges (convergence and stabilization times, open-state counts).
     """
 
+    #: The record kinds :meth:`on_record` dispatches on.  Passed as the
+    #: subscription filter so the trace can elide records of other kinds
+    #: entirely under non-retaining sinks.
+    KINDS = frozenset({"suspect", "state", "crash", "ping", "ack"})
+
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
         self._finalized = False

@@ -327,12 +327,15 @@ def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
     eng.run()
     if check is None:
         check = eng.trace.mode != "counters"
+    # One snapshot backs both views: collect_metrics publishes the sim.*
+    # gauges, finalizes probes, and freezes the registry once.
+    metrics = collect_metrics(eng)
     result = RunResult(
         name=spec.name,
         seed=spec.seed,
         end_time=eng.now,
-        metrics=collect_metrics(eng),
-        obs=eng.metrics_snapshot() if spec.obs else None,
+        metrics=metrics,
+        obs=metrics.snapshot if spec.obs else None,
         trace_mode=eng.trace.mode,
         trace_evicted=eng.trace.evicted,
         trace=eng.trace,

@@ -58,6 +58,21 @@ class ScenarioReport(RunResult):
         return cls(**RunResult.view_fields(result))
 
     def render(self) -> str:
+        if not self.checked:
+            # counters-sink run: no rows were retained, so no verdicts —
+            # render the cost/telemetry side only.
+            t = Table(["property", "value"],
+                      title=f"scenario: {self.name} (unchecked, "
+                            f"trace {self.trace_mode})")
+            t.add_row(["messages sent", self.metrics.messages_sent])
+            t.add_row(["messages dropped", self.metrics.messages_dropped])
+            t.add_row(["messages duplicated", self.metrics.messages_duplicated])
+            t.add_row(["retransmissions", self.metrics.retransmissions])
+            t.add_row(["events processed", self.metrics.events_processed])
+            t.add_row(["convergence time", self.convergence_time])
+            t.add_row(["trace sink", self.trace_mode])
+            t.add_row(["virtual time", self.end_time])
+            return t.render()
         t = Table(["property", "value"], title=f"scenario: {self.name}")
         t.add_row(["wait-free", self.wait_freedom.ok])
         t.add_row(["starving", ", ".join(self.wait_freedom.starving) or None])

@@ -80,6 +80,11 @@ class TargetedDelays(DelayModel):
                     "extra_max >= 0); dropping them would break reliability"
                 )
 
+    @property
+    def uniform_only(self) -> bool:
+        # Own draws are plain uniforms; batchability hinges on the base.
+        return self.base.uniform_only
+
     def delay(self, msg: Message, now: Time, rng: np.random.Generator) -> Time:
         d = self.base.delay(msg, now, rng)
         for rule in self.rules:
@@ -109,6 +114,8 @@ class EscalatingDelays(DelayModel):
     heartbeat detector keeps making mistakes, and the ◇P-based dining box
     correspondingly keeps violating exclusion.
     """
+
+    uniform_only = True
 
     def __init__(self, base_lo: Time = 0.2, base_hi: Time = 2.0,
                  straggler_prob: float = 0.05,
@@ -150,6 +157,11 @@ class OutageDelays(DelayModel):
         self.recovery = float(recovery)
         self.growth = float(growth)
         self._outages: list[tuple[Time, Time]] = []   # (start, end)
+
+    @property
+    def uniform_only(self) -> bool:
+        # Outage scheduling is deterministic; only the base model draws.
+        return self.base.uniform_only
 
     def _outage_at(self, now: Time) -> Optional[tuple[Time, Time]]:
         """The outage containing ``now``, extending the schedule lazily."""

@@ -67,9 +67,13 @@ def receive(kind: str, guard: Callable[[Any, Message], bool] | None = None,
     return deco
 
 
-@dataclass
+@dataclass(slots=True)
 class BoundAction:
-    """An action bound to a component instance, ready for scheduling."""
+    """An action bound to a component instance, ready for scheduling.
+
+    ``tag`` and ``qname`` are derived from the component at construction
+    so the per-step scheduler scan never rebuilds them.
+    """
 
     component: "Component"
     name: str
@@ -77,9 +81,15 @@ class BoundAction:
     guard: Optional[Callable]
     effect: Callable
     message_kind: Optional[str] = None
+    tag: str = ""
+    qname: str = ""
+
+    def __post_init__(self) -> None:
+        self.tag = self.component.name
+        self.qname = f"{self.component.name}.{self.name}"
 
     def qualified_name(self) -> str:
-        return f"{self.component.name}.{self.name}"
+        return self.qname
 
 
 class Component:

@@ -41,6 +41,7 @@ from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import StepPolicy
 from repro.sim.sinks import TraceSink
 from repro.sim.trace import Trace
+from repro.sim.transport import TRANSPORT_TAG as _TRANSPORT_TAG
 from repro.types import Message, ProcessId, Time
 
 
@@ -96,7 +97,8 @@ class Engine:
         self.probes: Optional[RunProbes] = None
         if self.config.obs:
             self.probes = RunProbes(self.registry)
-            self.trace.subscribe(self.probes.on_record)
+            self.trace.subscribe(self.probes.on_record,
+                                 kinds=RunProbes.KINDS)
         self.network = Network(delay_model or AsynchronousDelays(),
                                fault_model=fault_model)
         self.network.bind(self)
@@ -106,6 +108,11 @@ class Engine:
         self._seq = itertools.count()
         self.events_processed = 0
         self._stopped = False
+        # Per-process step-scheduling cache: pid -> (rng, speed).  The rng
+        # is a BatchedDoubles view of the pid's step stream when the step
+        # policy draws only uniform doubles (or there is no policy), else
+        # the raw generator.  Populated lazily on first step.
+        self._step_cache: dict[ProcessId, tuple[object, float]] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -168,28 +175,60 @@ class Engine:
         horizon = self.config.max_time if until is None else float(until)
         self._stopped = False
         since_check = 0
-        while self._heap and not self._stopped:
-            t, _, kind, payload = self._heap[0]
-            if t > horizon:
-                break
-            heapq.heappop(self._heap)
-            self.clock.advance_to(t)
-            self._dispatch(kind, payload)
-            self.events_processed += 1
-            if self.events_processed >= self.config.max_events:
-                raise SimulationError(
-                    f"event cap exceeded ({self.config.max_events}); "
-                    f"trace sink {self.trace.mode!r} retains "
-                    f"{len(self.trace)} of {self.trace.total_recorded} "
-                    f"records ({self.trace.evicted} evicted) — "
-                    "runaway simulation? (infinite action loop, or a "
-                    "retransmission storm — check transport backoff/rto_max)"
-                )
-            since_check += 1
-            if stop_when is not None and since_check >= check_every_events:
-                since_check = 0
-                if stop_when():
+        # Hot loop: locals for everything touched per event, dispatch
+        # inlined (no _dispatch call), clock advanced by direct slot write
+        # after the same backwards check Clock.advance_to performs.  The
+        # event counter is kept in a local and synced back in the finally
+        # block so it stays correct when a handler raises.
+        heap = self._heap
+        pop = heapq.heappop
+        clock = self.clock
+        do_step = self._do_step
+        do_deliver = self._do_deliver
+        do_crash = self._do_crash
+        max_events = self.config.max_events
+        events = self.events_processed
+        try:
+            while heap and not self._stopped:
+                item = heap[0]
+                t = item[0]
+                if t > horizon:
                     break
+                pop(heap)
+                if t < clock._now:
+                    raise SimulationError(
+                        f"clock cannot move backwards: {t} < {clock._now}"
+                    )
+                clock._now = t
+                kind = item[2]
+                if kind == "step":
+                    do_step(item[3])
+                elif kind == "deliver":
+                    do_deliver(item[3])
+                elif kind == "crash":
+                    do_crash(item[3])
+                elif kind == "call":
+                    item[3]()
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown event kind {kind!r}")
+                events += 1
+                if events >= max_events:
+                    raise SimulationError(
+                        f"event cap exceeded ({self.config.max_events}); "
+                        f"trace sink {self.trace.mode!r} retains "
+                        f"{len(self.trace)} of {self.trace.total_recorded} "
+                        f"records ({self.trace.evicted} evicted) — "
+                        "runaway simulation? (infinite action loop, or a "
+                        "retransmission storm — check transport "
+                        "backoff/rto_max)"
+                    )
+                since_check += 1
+                if stop_when is not None and since_check >= check_every_events:
+                    since_check = 0
+                    if stop_when():
+                        break
+        finally:
+            self.events_processed = events
         # Land the clock on the horizon so back-to-back run() calls resume
         # cleanly and open state intervals close at the right time.
         if not self._stopped and (stop_when is None) and horizon >= self.clock.now:
@@ -228,21 +267,36 @@ class Engine:
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown event kind {kind!r}")
 
+    def _step_state(self, pid: ProcessId) -> tuple[object, float]:
+        """Build (and cache) the per-process step-scheduling entry."""
+        policy = self.config.step_policy
+        if policy is None or policy.uniform_only:
+            # All draws on this stream are single uniform doubles, so a
+            # batched view reproduces the raw stream bit-for-bit.
+            rng: object = self.rng.batched(f"step:{pid}")
+        else:
+            rng = self.rng.stream(f"step:{pid}")
+        entry = (rng, float(self.config.speeds.get(pid, 1.0)))
+        self._step_cache[pid] = entry
+        return entry
+
     def _do_step(self, pid: ProcessId) -> None:
         proc = self.processes[pid]
         if proc.crashed:
             return
         proc.step()
-        speed = float(self.config.speeds.get(pid, 1.0))
-        rng = self.rng.stream(f"step:{pid}")
-        if self.config.step_policy is not None:
-            delay = self.config.step_policy.next_delay(pid, self.clock.now,
-                                                       rng)
+        entry = self._step_cache.get(pid)
+        if entry is None:
+            entry = self._step_state(pid)
+        rng, speed = entry
+        now = self.clock._now
+        policy = self.config.step_policy
+        if policy is not None:
+            delay = policy.next_delay(pid, now, rng)
         else:
-            delay = float(
-                rng.uniform(self.config.step_min, self.config.step_max)
-            )
-        self._push(self.clock.now + delay * speed, "step", pid)
+            delay = rng.uniform(self.config.step_min, self.config.step_max)
+        heapq.heappush(self._heap,
+                       (now + delay * speed, next(self._seq), "step", pid))
 
     def _do_deliver(self, msg: Message) -> None:
         proc = self.processes.get(msg.receiver)
@@ -250,20 +304,29 @@ class Engine:
             raise SimulationError(f"message to unknown process {msg.receiver!r}")
         if proc.crashed:
             return
-        transport = self.network.transport
-        if transport is not None and transport.owns(msg):
+        network = self.network
+        transport = network.transport
+        if transport is not None and msg.tag == _TRANSPORT_TAG:
             transport.on_wire_deliver(msg)
             return
-        self.deliver_payload(msg)
+        # Direct path: the receiver is already resolved and live, so hand
+        # over inline (deliver_payload would repeat both lookups).
+        proc._inbox.append(msg)
+        network._c_delivered.inc()
+        if self.config.record_messages:
+            self.trace.record(
+                "deliver", pid=msg.receiver, frm=msg.sender, tag=msg.tag,
+                msg_kind=msg.kind, uid=msg.uid,
+            )
 
     def deliver_payload(self, msg: Message) -> None:
         """Hand an application message to its (live) receiver's inbox.
 
-        Called on the direct path for raw-channel runs and by the
-        transport after envelope dedup; either way this is the single
-        point where ``delivered`` counts and ``deliver`` trace rows are
-        produced, so metrics mean the same thing with or without a
-        transport installed.
+        Called by the transport after envelope dedup (the raw-channel
+        direct path is inlined in :meth:`_do_deliver`); either way the
+        ``delivered`` count and ``deliver`` trace rows are produced in
+        exactly one place per path, so metrics mean the same thing with
+        or without a transport installed.
         """
         proc = self.processes.get(msg.receiver)
         if proc is None or proc.crashed:

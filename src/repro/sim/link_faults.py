@@ -78,7 +78,7 @@ class Partition:
         return (msg.sender in self.side) != (msg.receiver in self.side)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fate:
     """The fault model's verdict for one sent message.
 
@@ -97,6 +97,14 @@ class Fate:
     @property
     def duplicated(self) -> bool:
         return self.copies > 1
+
+
+# Fate is a value type with only four observable states, so the verdict
+# path reuses interned instances instead of allocating one per message.
+_FATE_ONE = Fate(copies=1)
+_FATE_TWO = Fate(copies=2)
+_FATE_LOSS = Fate(copies=0, reason="loss")
+_FATE_PARTITION = Fate(copies=0, reason="partition")
 
 
 def _check_prob(name: str, p: float) -> float:
@@ -182,21 +190,26 @@ class LinkFaultModel:
         fair-lossy streak (a forced delivery would breach the partition);
         random drops do, and the streak cap forces delivery once reached.
         """
-        if self.partitioned(msg, now):
-            return Fate(copies=0, reason="partition")
-        link = (msg.sender, msg.receiver)
-        p = self.drop_probability(msg)
+        if self.partitions and self.partitioned(msg, now):
+            return _FATE_PARTITION
+        # Inlined drop_probability(): this runs once per wire transmission.
+        p = self.drop
+        if self.drop_by_kind:
+            p = max(p, self.drop_by_kind.get(msg.kind, 0.0))
+        if self.drop_by_link:
+            p = max(p, self.drop_by_link.get((msg.sender, msg.receiver), 0.0))
         if p > 0.0:
+            link = (msg.sender, msg.receiver)
             streak = self._drop_streak.get(link, 0)
             forced = (self.max_consecutive_drops is not None
                       and streak >= self.max_consecutive_drops)
             if not forced and rng.random() < p:
                 self._drop_streak[link] = streak + 1
-                return Fate(copies=0, reason="loss")
+                return _FATE_LOSS
             self._drop_streak[link] = 0
         if self.duplicate > 0.0 and rng.random() < self.duplicate:
-            return Fate(copies=2)
-        return Fate(copies=1)
+            return _FATE_TWO
+        return _FATE_ONE
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

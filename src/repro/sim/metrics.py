@@ -1,38 +1,153 @@
 """Run metrics: message, step, and event accounting.
 
-A :class:`RunMetrics` snapshot summarizes the cost of a run; experiment
-E12 (reduction overhead) is built on these numbers.
+A :class:`RunMetrics` summarizes the cost of a run; experiment E12
+(reduction overhead) is built on these numbers.
+
+Since the observability layer landed, every traffic counter already
+lives in the engine's :class:`~repro.obs.registry.MetricsRegistry`
+(``net.*``, ``transport.*``).  :class:`RunMetrics` is therefore no
+longer a second accounting system: it is a **read-only view** over a
+:class:`~repro.obs.registry.MetricsSnapshot`, with the historical field
+names (``messages_sent``, ``steps_by_process``, ...) preserved as
+properties.  :func:`collect_metrics` publishes the engine-side facts the
+registry did not already hold (virtual time, processed events, per-
+process step counts — as ``sim.*`` gauges) and freezes one snapshot that
+backs both ``RunResult.metrics`` and ``RunResult.obs``.
+
+.. deprecated::
+    Constructing ``RunMetrics`` from loose keyword values
+    (``RunMetrics(virtual_time=..., messages_sent=...)``) predates the
+    registry and is kept only for backward compatibility — it builds a
+    synthetic snapshot under the hood (see :meth:`RunMetrics.from_values`).
+    New code should read metrics off a run's snapshot instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
 
+#: Registry names backing the legacy view fields.
+_G_VIRTUAL_TIME = "sim.virtual_time"
+_G_EVENTS = "sim.events_processed"
+_G_STEPS_PREFIX = 'sim.steps{process="'
+_C_SENT = "net.messages_sent"
+_C_SENT_KIND_PREFIX = 'net.messages_sent{kind="'
+_C_DELIVERED = "net.messages_delivered"
+_C_DROPPED = "net.messages_dropped"
+_C_DUPLICATED = "net.messages_duplicated"
+_C_RETRANSMISSIONS = "transport.retransmissions"
 
-@dataclass(frozen=True)
+
+def _labelled(mapping: Mapping[str, float], prefix: str) -> dict[str, int]:
+    """Decode single-label series ``name{label="value"}`` -> value map."""
+    out: dict[str, int] = {}
+    for full, v in mapping.items():
+        if full.startswith(prefix) and full.endswith('"}'):
+            out[full[len(prefix):-2]] = int(v)
+    return out
+
+
 class RunMetrics:
-    """Immutable cost summary of a simulation run."""
+    """Read-only cost summary of a run, viewing its metrics snapshot.
 
-    virtual_time: float
-    events_processed: int
-    messages_sent: int
-    messages_delivered: int
-    messages_by_kind: Mapping[str, int]
-    steps_by_process: Mapping[str, int]
-    #: Wire messages lost to link faults (0 on reliable channels).
-    messages_dropped: int = 0
-    #: Wire messages duplicated by link faults.
-    messages_duplicated: int = 0
-    #: Transport retransmissions (0 when no transport is installed).
-    retransmissions: int = 0
+    All fields are derived properties over :attr:`snapshot`; nothing is
+    stored twice, so this view and every registry exporter necessarily
+    agree.  Instances pickle (the snapshot is plain data) and compare by
+    snapshot value.
+    """
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self, snapshot: Optional[MetricsSnapshot] = None,
+                 **legacy: Any) -> None:
+        if snapshot is None:
+            # Deprecated keyword-value construction (see module docstring).
+            snapshot = RunMetrics.from_values(**legacy).snapshot
+        elif legacy:
+            raise TypeError(
+                "pass either a MetricsSnapshot or legacy keyword values, "
+                "not both")
+        self.snapshot = snapshot
+
+    @classmethod
+    def from_values(
+        cls,
+        virtual_time: float = 0.0,
+        events_processed: int = 0,
+        messages_sent: int = 0,
+        messages_delivered: int = 0,
+        messages_by_kind: Optional[Mapping[str, int]] = None,
+        steps_by_process: Optional[Mapping[str, int]] = None,
+        messages_dropped: int = 0,
+        messages_duplicated: int = 0,
+        retransmissions: int = 0,
+    ) -> "RunMetrics":
+        """Build a view over a synthetic snapshot (tests, legacy callers)."""
+        reg = MetricsRegistry()
+        reg.gauge(_G_VIRTUAL_TIME).set(float(virtual_time))
+        reg.gauge(_G_EVENTS).set(float(events_processed))
+        reg.counter(_C_SENT).inc(messages_sent)
+        reg.counter(_C_DELIVERED).inc(messages_delivered)
+        reg.counter(_C_DROPPED).inc(messages_dropped)
+        reg.counter(_C_DUPLICATED).inc(messages_duplicated)
+        reg.counter(_C_RETRANSMISSIONS).inc(retransmissions)
+        for kind, n in (messages_by_kind or {}).items():
+            reg.counter(_C_SENT, kind=kind).inc(n)
+        for pid, n in (steps_by_process or {}).items():
+            reg.gauge("sim.steps", process=str(pid)).set(float(n))
+        return cls(reg.snapshot())
+
+    # -- the historical fields, now registry-backed --------------------------
+
+    @property
+    def virtual_time(self) -> float:
+        return float(self.snapshot.gauge_value(_G_VIRTUAL_TIME, 0.0))
+
+    @property
+    def events_processed(self) -> int:
+        return int(self.snapshot.gauge_value(_G_EVENTS, 0.0))
+
+    @property
+    def messages_sent(self) -> int:
+        return int(self.snapshot.counter_value(_C_SENT))
+
+    @property
+    def messages_delivered(self) -> int:
+        return int(self.snapshot.counter_value(_C_DELIVERED))
+
+    @property
+    def messages_by_kind(self) -> dict[str, int]:
+        return _labelled(self.snapshot.counters, _C_SENT_KIND_PREFIX)
+
+    @property
+    def steps_by_process(self) -> dict[str, int]:
+        return _labelled(self.snapshot.gauges, _G_STEPS_PREFIX)
+
+    @property
+    def messages_dropped(self) -> int:
+        """Wire messages lost to link faults (0 on reliable channels)."""
+        return int(self.snapshot.counter_value(_C_DROPPED))
+
+    @property
+    def messages_duplicated(self) -> int:
+        """Wire messages duplicated by link faults."""
+        return int(self.snapshot.counter_value(_C_DUPLICATED))
+
+    @property
+    def retransmissions(self) -> int:
+        """Transport retransmissions (0 when no transport is installed)."""
+        return int(self.snapshot.counter_value(_C_RETRANSMISSIONS))
 
     @property
     def total_steps(self) -> int:
         return sum(self.steps_by_process.values())
+
+    # -- derived views --------------------------------------------------------
 
     def messages_per_time(self) -> float:
         """Average message rate over virtual time (0 for an empty run)."""
@@ -57,20 +172,30 @@ class RunMetrics:
             lines.append(f"  {kind:<18}: {n}")
         return "\n".join(lines)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunMetrics):
+            return NotImplemented
+        return self.snapshot == other.snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RunMetrics(sent={self.messages_sent}, "
+                f"delivered={self.messages_delivered}, "
+                f"events={self.events_processed}, "
+                f"t={self.virtual_time:.1f})")
+
 
 def collect_metrics(engine: "Engine") -> RunMetrics:
-    """Snapshot the cost counters of ``engine``."""
-    transport = engine.network.transport
-    return RunMetrics(
-        virtual_time=engine.clock.now,
-        events_processed=engine.events_processed,
-        messages_sent=engine.network.sent,
-        messages_delivered=engine.network.delivered,
-        messages_by_kind=dict(engine.network.sent_by_kind),
-        steps_by_process={
-            pid: proc.steps_taken for pid, proc in engine.processes.items()
-        },
-        messages_dropped=engine.network.dropped,
-        messages_duplicated=engine.network.duplicated,
-        retransmissions=0 if transport is None else transport.retransmissions,
-    )
+    """Freeze ``engine``'s cost counters into a registry-backed view.
+
+    Publishes the engine-side facts the registry does not hold on its own
+    (virtual time, processed events, per-process step counts) as ``sim.*``
+    gauges, finalizes the convergence probes, and snapshots once — the
+    returned view and :meth:`Engine.metrics_snapshot` therefore report
+    from the same numbers.
+    """
+    reg = engine.registry
+    reg.gauge(_G_VIRTUAL_TIME).set(float(engine.clock.now))
+    reg.gauge(_G_EVENTS).set(float(engine.events_processed))
+    for pid, proc in engine.processes.items():
+        reg.gauge("sim.steps", process=str(pid)).set(float(proc.steps_taken))
+    return RunMetrics(engine.metrics_snapshot())

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro.obs.registry import MetricsRegistry
+from repro.sim.transport import TRANSPORT_TAG
 from repro.types import Message, ProcessId, Time
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,6 +49,16 @@ if TYPE_CHECKING:  # pragma: no cover
 class DelayModel(abc.ABC):
     """Maps each sent message to a strictly positive delivery delay."""
 
+    #: True when every draw this model makes goes through ``rng.random()``
+    #: or ``rng.uniform(lo, hi)`` (one underlying uniform double per call).
+    #: The network then serves the shared ``"network"`` stream from a
+    #: prefetched :class:`~repro.sim.rng.BatchedDoubles` view with
+    #: bit-identical results.  Models drawing from any other distribution
+    #: (e.g. lognormal, whose ziggurat consumes a variable number of
+    #: underlying draws) must leave this False — the conservative default
+    #: for external subclasses.
+    uniform_only: bool = False
+
     @abc.abstractmethod
     def delay(self, msg: Message, now: Time, rng: np.random.Generator) -> Time:
         """Return the channel delay for ``msg`` sent at time ``now``."""
@@ -55,6 +66,8 @@ class DelayModel(abc.ABC):
 
 class FixedDelays(DelayModel):
     """Every message takes exactly ``delay`` time units."""
+
+    uniform_only = True  # draws nothing at all
 
     def __init__(self, delay: Time = 1.0) -> None:
         if delay <= 0:
@@ -103,6 +116,8 @@ class PartialSynchronyDelays(DelayModel):
     every delay is at most ``delta``.
     """
 
+    uniform_only = True
+
     def __init__(self, gst: Time, delta: Time = 1.0, pre_gst_max: Time = 30.0) -> None:
         if delta <= 0 or pre_gst_max <= 0:
             raise ValueError("delta and pre_gst_max must be positive")
@@ -137,6 +152,10 @@ class Network:
         #: Installed by :meth:`repro.sim.transport.ReliableTransport.install`.
         self.transport: "ReliableTransport | None" = None
         self._engine: "Engine | None" = None
+        # Wire RNG views; populated at bind() (send/transmit require it).
+        self._rng_faults = None
+        self._rng_wire = None
+        self._wire_model: DelayModel | None = None
         self._bind_registry(MetricsRegistry())
         #: Optional hook (msg -> None) observed on every send; used by
         #: tests and metrics, never by algorithms.
@@ -157,10 +176,27 @@ class Network:
         self._c_duplicated = registry.counter("net.messages_duplicated")
         self._kinds_sent: set[str] = set()
         self._kinds_dropped: set[str] = set()
+        # Per-kind counter caches: labelled registry lookups format a label
+        # suffix on every call, far too slow for the per-message path.
+        self._c_sent_kind: dict[str, object] = {}
+        self._c_dropped_kind: dict[str, object] = {}
 
     def bind(self, engine: "Engine") -> None:
         self._engine = engine
         self._bind_registry(engine.registry)
+        # Wire-path RNG views, fixed at bind time.  The link-faults stream
+        # only ever sees random() draws, so it is always batchable; the
+        # shared delay stream is batchable only when the delay model
+        # advertises one-uniform-double-per-call draws.
+        self._rng_faults = engine.rng.batched("link-faults")
+        self._rebind_wire_rng()
+
+    def _rebind_wire_rng(self) -> None:
+        self._wire_model = self.delay_model
+        if self.delay_model.uniform_only:
+            self._rng_wire = self._engine.rng.batched("network")
+        else:
+            self._rng_wire = self._engine.rng.stream("network")
 
     # -- traffic counters (registry-backed views) ----------------------------
 
@@ -206,8 +242,13 @@ class Network:
         engine = self._engine
         assert engine is not None, "network not bound to an engine"
         self._c_sent.inc()
-        self._kinds_sent.add(msg.kind)
-        self._registry.counter("net.messages_sent", kind=msg.kind).inc()
+        kind = msg.kind
+        c_kind = self._c_sent_kind.get(kind)
+        if c_kind is None:
+            c_kind = self._registry.counter("net.messages_sent", kind=kind)
+            self._c_sent_kind[kind] = c_kind
+            self._kinds_sent.add(kind)
+        c_kind.inc()
         if self.on_send is not None:
             self.on_send(msg)
         if engine.config.record_messages:
@@ -215,8 +256,9 @@ class Network:
                 "send", pid=msg.sender, to=msg.receiver, tag=msg.tag,
                 msg_kind=msg.kind, uid=msg.uid,
             )
-        if self.transport is not None and not self.transport.owns(msg):
-            self.transport.wrap_and_send(msg)
+        transport = self.transport
+        if transport is not None and msg.tag != TRANSPORT_TAG:
+            transport.wrap_and_send(msg)
         else:
             self.transmit(msg)
 
@@ -224,28 +266,40 @@ class Network:
         """Put ``msg`` on the raw wire: fault verdict, then delay per copy."""
         engine = self._engine
         assert engine is not None, "network not bound to an engine"
+        now = engine.clock._now
         copies = 1
         if self.fault_model is not None:
-            fate = self.fault_model.fate(
-                msg, engine.clock.now, engine.rng.stream("link-faults"))
-            if fate.dropped:
+            fate = self.fault_model.fate(msg, now, self._rng_faults)
+            if fate.copies == 0:
                 self._c_dropped.inc()
-                self._kinds_dropped.add(msg.kind)
-                self._registry.counter(
-                    "net.messages_dropped", kind=msg.kind).inc()
+                kind = msg.kind
+                c_kind = self._c_dropped_kind.get(kind)
+                if c_kind is None:
+                    c_kind = self._registry.counter(
+                        "net.messages_dropped", kind=kind)
+                    self._c_dropped_kind[kind] = c_kind
+                    self._kinds_dropped.add(kind)
+                c_kind.inc()
                 if engine.config.record_messages:
                     engine.trace.record(
                         "drop", pid=msg.sender, to=msg.receiver, tag=msg.tag,
                         msg_kind=msg.kind, uid=msg.uid, reason=fate.reason,
                     )
                 return
-            if fate.duplicated:
+            if fate.copies > 1:
                 self._c_duplicated.inc()
             copies = fate.copies
-        rng = engine.rng.stream("network")
-        for _ in range(copies):
-            d = self.delay_model.delay(msg, engine.clock.now, rng)
-            engine.schedule_delivery(msg, engine.clock.now + d)
+        delay_model = self.delay_model
+        if delay_model is not self._wire_model:
+            self._rebind_wire_rng()
+        rng = self._rng_wire
+        if copies == 1:
+            d = delay_model.delay(msg, now, rng)
+            engine._push(now + d, "deliver", msg)
+        else:
+            for _ in range(copies):
+                d = delay_model.delay(msg, now, rng)
+                engine._push(now + d, "deliver", msg)
 
     def note_delivered(self, msg: Message) -> None:
         self._c_delivered.inc()

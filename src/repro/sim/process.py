@@ -111,21 +111,52 @@ class Process:
         if self.crashed:
             raise CrashedProcessError(f"crashed process {self.pid} cannot step")
         self.steps_taken += 1
-        n = len(self._actions)
+        actions = self._actions
+        n = len(actions)
         if n == 0:
             return None
+        # Round-robin scan with _try_fire inlined: this is the single
+        # hottest process-side path, and most probed actions are disabled
+        # (guard False or no matching message), so the scan must be cheap.
+        rotation = self._rotation
+        inbox = self._inbox
         for offset in range(n):
-            idx = (self._rotation + offset) % n
-            act = self._actions[idx]
-            fired = self._try_fire(act)
-            if fired:
-                self._rotation = (idx + 1) % n
-                return act.qualified_name()
+            idx = rotation + offset
+            if idx >= n:
+                idx -= n
+            act = actions[idx]
+            guard = act.guard
+            if act.kind == "internal":
+                if guard is not None and not guard(act.component):
+                    continue
+                act.effect()
+            else:
+                # receive action: earliest-buffered matching message
+                tag = act.tag
+                want_kind = act.message_kind
+                hit = -1
+                for i, msg in enumerate(inbox):
+                    if msg.tag != tag:
+                        continue
+                    if want_kind is not None and msg.kind != want_kind:
+                        continue
+                    if guard is not None and not guard(act.component, msg):
+                        continue
+                    hit = i
+                    break
+                if hit < 0:
+                    continue
+                msg = inbox[hit]
+                del inbox[hit]
+                act.effect(msg)
+            self._rotation = idx + 1 if idx + 1 < n else 0
+            return act.qname
         return None
 
     # -- internals --------------------------------------------------------------
 
     def _try_fire(self, act: BoundAction) -> bool:
+        """Fire ``act`` if enabled (kept for tests; ``step`` inlines this)."""
         if act.kind == "internal":
             if act.guard is not None and not act.guard(act.component):
                 return False

@@ -20,6 +20,63 @@ def _stream_key(name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+class BatchedDoubles:
+    """Stream-preserving batched view over a generator's uniform doubles.
+
+    numpy's ``Generator.random()`` and ``Generator.uniform(lo, hi)`` each
+    consume exactly one underlying double, and scalar ``uniform(lo, hi)``
+    equals ``lo + (hi - lo) * random()`` bit-for-bit.  This wrapper
+    therefore prefetches ``random(size=batch)`` blocks and serves them one
+    at a time: any interleaving of :meth:`random` and :meth:`uniform`
+    calls yields exactly the values the raw generator would have produced
+    for the same call sequence — which is what lets the engine batch its
+    hot streams without perturbing seeded runs.
+
+    The contract is all-or-nothing per stream: once a stream is wrapped,
+    every subsequent draw must go through the wrapper (a direct draw on
+    the raw generator would skip the prefetched-but-unserved tail).
+    Draws that are *not* expressible as one uniform double per call
+    (e.g. ``lognormal``) must keep using the raw generator; see the
+    ``uniform_only`` flags on delay models and step policies.
+    """
+
+    __slots__ = ("_gen", "_batch", "_buf", "_idx", "_len")
+
+    def __init__(self, gen: np.random.Generator, batch: int = 256) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self._gen = gen
+        self._batch = int(batch)
+        self._buf: list[float] = []
+        self._idx = 0
+        self._len = 0
+
+    def _refill(self) -> None:
+        # tolist() converts the whole block to Python floats in one C call,
+        # so per-draw service is a plain list index (no np.float64 boxing).
+        self._buf = self._gen.random(size=self._batch).tolist()
+        self._idx = 0
+        self._len = self._batch
+
+    def random(self) -> float:
+        """Next double in [0, 1) — identical to ``gen.random()``."""
+        i = self._idx
+        if i >= self._len:
+            self._refill()
+            i = 0
+        self._idx = i + 1
+        return self._buf[i]
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Next uniform in [low, high) — identical to ``gen.uniform``."""
+        i = self._idx
+        if i >= self._len:
+            self._refill()
+            i = 0
+        self._idx = i + 1
+        return low + (high - low) * self._buf[i]
+
+
 class RngRegistry:
     """Factory of named, independent :class:`numpy.random.Generator` streams.
 
@@ -33,6 +90,7 @@ class RngRegistry:
     def __init__(self, seed: int) -> None:
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
+        self._batched: dict[str, BatchedDoubles] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the (cached) generator for ``name``."""
@@ -44,6 +102,19 @@ class RngRegistry:
             gen = np.random.default_rng(seq)
             self._streams[name] = gen
         return gen
+
+    def batched(self, name: str, batch: int = 256) -> BatchedDoubles:
+        """A (cached) :class:`BatchedDoubles` view of stream ``name``.
+
+        Safe to request after the raw stream has already been consumed —
+        the wrapper prefetches from the generator's *current* state.  All
+        later draws on the stream must then go through the wrapper.
+        """
+        wrapper = self._batched.get(name)
+        if wrapper is None:
+            wrapper = BatchedDoubles(self.stream(name), batch=batch)
+            self._batched[name] = wrapper
+        return wrapper
 
     def fork(self, salt: str) -> "RngRegistry":
         """Derive a new registry whose streams are independent of this one.

@@ -28,6 +28,15 @@ from repro.types import ProcessId, Time
 class StepPolicy(abc.ABC):
     """Draws the delay before a process's next step."""
 
+    #: True when every draw the policy makes goes through ``rng.random()``
+    #: or ``rng.uniform(lo, hi)`` — i.e. consumes exactly one underlying
+    #: uniform double per call.  The engine then serves such policies from
+    #: a prefetched :class:`~repro.sim.rng.BatchedDoubles` view of the
+    #: per-process stream with bit-identical results.  Policies using any
+    #: other distribution must leave this False (the conservative default
+    #: for external subclasses) to keep their stream scalar.
+    uniform_only: bool = False
+
     @abc.abstractmethod
     def next_delay(self, pid: ProcessId, now: Time,
                    rng: np.random.Generator) -> Time:
@@ -36,6 +45,8 @@ class StepPolicy(abc.ABC):
 
 class UniformSteps(StepPolicy):
     """Delays uniform in ``[lo, hi]`` (the engine's classic behaviour)."""
+
+    uniform_only = True
 
     def __init__(self, lo: Time = 0.4, hi: Time = 1.2) -> None:
         if not 0 < lo <= hi:
@@ -54,6 +65,8 @@ class BurstySteps(StepPolicy):
     uniform ``[pause_lo, pause_hi]`` span; otherwise it steps quickly
     (uniform ``[lo, hi]``).
     """
+
+    uniform_only = True
 
     def __init__(self, lo: Time = 0.2, hi: Time = 0.6,
                  pause_prob: float = 0.02,
@@ -75,6 +88,8 @@ class BurstySteps(StepPolicy):
 
 class GSTSteps(StepPolicy):
     """Chaotic before ``gst`` (pauses up to ``pre_gst_max``), uniform after."""
+
+    uniform_only = True
 
     def __init__(self, gst: Time, lo: Time = 0.4, hi: Time = 1.2,
                  pre_gst_max: Time = 40.0, pause_prob: float = 0.1) -> None:

@@ -40,11 +40,25 @@ class TraceSink:
 
     mode: str = "abstract"
 
+    #: False for sinks that keep no rows at all.  The owning trace uses
+    #: this to skip building :class:`TraceRecord` objects entirely when no
+    #: subscriber needs them either (the lazy fast path); such elided
+    #: records are accounted via :meth:`skip_one`.
+    retains: bool = True
+
     @property
     def evicted(self) -> int:
         raise NotImplementedError
 
     def append(self, rec: "TraceRecord") -> None:
+        raise NotImplementedError
+
+    def skip_one(self) -> None:
+        """Account for one record elided before construction.
+
+        Only called on non-retaining sinks (``retains`` False); retaining
+        sinks never see elided records.
+        """
         raise NotImplementedError
 
     def retained(self) -> Sequence["TraceRecord"]:
@@ -104,6 +118,7 @@ class CounterTraceSink(TraceSink):
     """
 
     mode = "counters"
+    retains = False
 
     def __init__(self) -> None:
         self._evicted = 0
@@ -113,6 +128,9 @@ class CounterTraceSink(TraceSink):
         return self._evicted
 
     def append(self, rec: "TraceRecord") -> None:
+        self._evicted += 1
+
+    def skip_one(self) -> None:
         self._evicted += 1
 
     def retained(self) -> Sequence["TraceRecord"]:

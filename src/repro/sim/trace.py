@@ -25,7 +25,7 @@ from repro.sim.sinks import TraceSink, make_sink
 from repro.types import ProcessId, Time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One observed event: ``(time, kind, pid, data)``."""
 
@@ -60,20 +60,37 @@ class Trace:
         self._crash_times: dict[ProcessId, Time] = {}
         self._last_time: Time = 0.0
         self._total = 0
-        self._observers: list[Callable[[TraceRecord], None]] = []
+        self._observers: list[
+            tuple[Callable[[TraceRecord], None], Optional[frozenset]]
+        ] = []
+        # Union of all subscribed kind filters; None once any subscriber
+        # wants everything.  Against a non-retaining sink, records whose
+        # kind is outside this set are never constructed (lazy fast path).
+        self._needed_kinds: Optional[set[str]] = set()
 
     def bind_clock(self, now_fn: Callable[[], Time]) -> None:
         self._now_fn = now_fn
 
-    def subscribe(self, observer: Callable[[TraceRecord], None]) -> None:
+    def subscribe(self, observer: Callable[[TraceRecord], None],
+                  kinds: Optional[Iterable[str]] = None) -> None:
         """Observe every record as it is appended, *before* sink retention.
 
         Subscribers (e.g. :class:`repro.obs.probes.RunProbes`) see the full
         record stream regardless of sink mode, so anything computed from
         the stream stays exact under ``ring:N`` and ``counters`` sinks.
         Observers are run-local and are not pickled with the trace.
+
+        ``kinds``, when given, restricts delivery to records of those
+        kinds.  Declaring the filter matters beyond skipping callbacks:
+        when every subscriber is filtered and the sink retains nothing
+        (``counters``), records of unwanted kinds are never even built.
         """
-        self._observers.append(observer)
+        ks = None if kinds is None else frozenset(kinds)
+        self._observers.append((observer, ks))
+        if ks is None:
+            self._needed_kinds = None
+        elif self._needed_kinds is not None:
+            self._needed_kinds |= ks
 
     # -- sink introspection --------------------------------------------------
 
@@ -103,12 +120,33 @@ class Trace:
         state = dict(self.__dict__)
         state["_now_fn"] = None   # bound clock closures don't pickle
         state["_observers"] = []  # run-local; may close over live objects
+        state["_needed_kinds"] = set()
         return state
 
     # -- writing ------------------------------------------------------------
 
-    def record(self, kind: str, pid: ProcessId, **data: Any) -> TraceRecord:
+    def record(self, kind: str, pid: ProcessId,
+               **data: Any) -> Optional[TraceRecord]:
+        """Append one record; returns it, or None when it was elided.
+
+        Elision (the lazy fast path) happens only when the sink retains
+        nothing *and* no subscriber asked for this ``kind`` — the
+        aggregate views (totals, kind histogram, crash times, last time)
+        are still maintained exactly, so nothing observable about the
+        trace changes besides the saved construction cost.
+        """
         t = self._now_fn() if self._now_fn is not None else 0.0
+        needed = self._needed_kinds
+        if (needed is not None and kind not in needed
+                and not self._sink.retains):
+            self._sink.skip_one()
+            self._total += 1
+            self._last_time = t
+            counts = self._kind_counts
+            counts[kind] = counts.get(kind, 0) + 1
+            if kind == "crash":
+                self._crash_times[pid] = t
+            return None
         rec = TraceRecord(time=t, kind=kind, pid=pid, data=data)
         self._append(rec)
         return rec
@@ -118,11 +156,13 @@ class Trace:
         self._sink.append(rec)
         self._total += 1
         self._last_time = rec.time
-        self._kind_counts[rec.kind] = self._kind_counts.get(rec.kind, 0) + 1
-        if rec.kind == "crash":
+        kind = rec.kind
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        if kind == "crash":
             self._crash_times[rec.pid] = rec.time
-        for observer in self._observers:
-            observer(rec)
+        for observer, kinds in self._observers:
+            if kinds is None or kind in kinds:
+                observer(rec)
 
     # -- reading ------------------------------------------------------------
 

@@ -105,6 +105,7 @@ class ReliableTransport:
     def __init__(self, policy: RetransmitPolicy | None = None) -> None:
         self.policy = policy or RetransmitPolicy()
         self._engine: "Engine | None" = None
+        self._rng = None  # batched "transport" stream, set at install()
         self._next_seq: dict[Link, int] = {}
         self._pending: dict[tuple[Link, int], _Pending] = {}
         # Per-link dedup state: [highest contiguous seq seen, sparse seqs above].
@@ -134,6 +135,9 @@ class ReliableTransport:
         self._engine = engine
         engine.network.transport = self
         self._bind_registry(engine.registry)
+        # Retransmission jitter only ever draws single uniform doubles, so
+        # the seeded "transport" stream is served batched (bit-identical).
+        self._rng = engine.rng.batched("transport")
         return self
 
     # -- counters (registry-backed views) --------------------------------------
@@ -184,7 +188,7 @@ class ReliableTransport:
 
     def on_wire_deliver(self, envelope: Message) -> None:
         """Handle a wire envelope reaching a live process."""
-        engine = self._require_engine()
+        engine = self._engine  # delivery implies installed
         seq = int(envelope.payload["seq"])
         if envelope.kind == DATA_KIND:
             link: Link = (envelope.sender, envelope.receiver)
@@ -210,25 +214,25 @@ class ReliableTransport:
     # -- internals --------------------------------------------------------------
 
     def _transmit_data(self, link: Link, seq: int, inner: Message) -> None:
-        engine = self._require_engine()
+        engine = self._engine
         envelope = Message(sender=link[0], receiver=link[1],
                            tag=TRANSPORT_TAG, kind=DATA_KIND,
                            payload={"seq": seq, "inner": inner})
         engine.network.transmit(envelope)
 
     def _arm_timer(self, link: Link, seq: int) -> None:
-        engine = self._require_engine()
+        engine = self._engine
         entry = self._pending.get((link, seq))
         if entry is None:  # pragma: no cover - defensive
             return
-        rng = engine.rng.stream("transport")
         spread = self.policy.jitter * entry.rto
-        delay = entry.rto + (float(rng.uniform(-spread, spread)) if spread else 0.0)
-        engine.schedule_call(engine.now + max(delay, 1e-9),
+        delay = entry.rto + (self._rng.uniform(-spread, spread) if spread
+                             else 0.0)
+        engine.schedule_call(engine.clock._now + max(delay, 1e-9),
                              lambda: self._on_timer(link, seq))
 
     def _on_timer(self, link: Link, seq: int) -> None:
-        engine = self._require_engine()
+        engine = self._engine
         entry = self._pending.get((link, seq))
         if entry is None:
             return  # acked in the meantime

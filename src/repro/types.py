@@ -50,7 +50,7 @@ DINER_CYCLE = (
 _msg_counter = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An immutable message envelope.
 

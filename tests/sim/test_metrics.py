@@ -49,6 +49,37 @@ def test_messages_per_time_zero_guard():
     assert m.messages_per_time() == 0.0
 
 
+def test_metrics_is_a_view_over_the_registry_snapshot():
+    """The fold: RunMetrics reads the same counters every exporter sees."""
+    eng = make_engine(seed=3, max_time=100.0)
+    eng.add_process("a").add_component(Chatter("b"))
+    eng.add_process("b").add_component(Chatter("a"))
+    eng.run()
+    m = collect_metrics(eng)
+    snap = m.snapshot
+    assert m.messages_sent == snap.counter_value("net.messages_sent")
+    assert m.virtual_time == snap.gauge_value("sim.virtual_time")
+    assert m.events_processed == snap.gauge_value("sim.events_processed")
+    assert m.steps_by_process["a"] == \
+        snap.gauge_value('sim.steps{process="a"}')
+    assert m.messages_by_kind["gossip"] == \
+        snap.counter_value('net.messages_sent{kind="gossip"}')
+
+
+def test_legacy_kwargs_and_from_values_agree():
+    legacy = RunMetrics(virtual_time=10.0, events_processed=4,
+                        messages_sent=20, messages_delivered=18,
+                        messages_by_kind={"x": 20}, steps_by_process={"p": 7},
+                        messages_dropped=2, retransmissions=1)
+    explicit = RunMetrics.from_values(
+        virtual_time=10.0, events_processed=4, messages_sent=20,
+        messages_delivered=18, messages_by_kind={"x": 20},
+        steps_by_process={"p": 7}, messages_dropped=2, retransmissions=1)
+    assert legacy == explicit
+    assert legacy.messages_dropped == 2
+    assert legacy.total_steps == 7
+
+
 def test_format_table_mentions_kinds():
     eng = make_engine(seed=3, max_time=50.0)
     eng.add_process("a").add_component(Chatter("b"))

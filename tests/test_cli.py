@@ -1,8 +1,25 @@
 """Tests for the CLI entry point."""
 
+import json
+import pstats
+
 import pytest
 
 from repro.cli import main
+
+
+def _scenario_file(tmp_path, **overrides):
+    spec = {"name": "cli-mini", "graph": "ring:3", "seed": 3,
+            "max_time": 300.0}
+    spec.update(overrides)
+    path = tmp_path / "mini.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+def _read_jsonl(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
 
 
 def test_list_command(capsys):
@@ -25,3 +42,63 @@ def test_run_single_experiment(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- the four normalized flags, one case per subcommand ----------------------
+
+
+def test_scenario_normalized_flags(tmp_path, capsys):
+    """scenario: --trace-sink/--metrics-out/--profile-out all take effect."""
+    metrics = tmp_path / "m.jsonl"
+    profile = tmp_path / "p.pstats"
+    rc = main(["scenario", _scenario_file(tmp_path),
+               "--trace-sink", "counters",
+               "--metrics-out", str(metrics),
+               "--profile-out", str(profile)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "metrics written to" in out
+    (record,) = _read_jsonl(metrics)
+    assert record["summary"]["name"] == "cli-mini"
+    # counters sink = metrics-only run: no verdict in the record.
+    assert record["summary"]["checked"] is False
+    pstats.Stats(str(profile))  # valid cProfile dump
+
+
+def test_sweep_normalized_flags(tmp_path, capsys):
+    """sweep: --workers fanout is recorded per-seed in --metrics-out."""
+    metrics = tmp_path / "m.jsonl"
+    rc = main(["sweep", _scenario_file(tmp_path), "--seeds", "2",
+               "--workers", "2", "--metrics-out", str(metrics)])
+    assert rc == 0
+    records = _read_jsonl(metrics)
+    assert len(records) == 2
+    assert len({r["summary"]["seed"] for r in records}) == 2
+    assert "sweep: cli-mini" in capsys.readouterr().out
+
+
+def test_chaos_normalized_flags(tmp_path, capsys):
+    """chaos: shared flags compose with the campaign-specific ones."""
+    metrics = tmp_path / "m.jsonl"
+    profile = tmp_path / "p.pstats"
+    rc = main(["chaos", "--campaigns", "2", "--seed", "5",
+               "--max-time", "200", "--trace-sink", "counters",
+               "--workers", "1",
+               "--metrics-out", str(metrics),
+               "--profile-out", str(profile)])
+    assert rc == 0
+    assert len(_read_jsonl(metrics)) == 2
+    pstats.Stats(str(profile))
+    capsys.readouterr()
+
+
+def test_run_normalized_flags(tmp_path, capsys):
+    """run: --metrics-out writes experiment records; --trace-sink warns."""
+    metrics = tmp_path / "m.jsonl"
+    rc = main(["run", "e1", "--metrics-out", str(metrics),
+               "--trace-sink", "counters"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "--trace-sink does not apply" in captured.err
+    (record,) = _read_jsonl(metrics)
+    assert record["name"] == "e1" and record["ok"] is True
