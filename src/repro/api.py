@@ -34,7 +34,7 @@ from typing import Mapping, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.runtime.builder import execute
-from repro.runtime.executor import ParallelExecutor
+from repro.runtime.executor import ParallelExecutor, RetryPolicy
 from repro.runtime.result import RunResult
 from repro.runtime.seeds import fanout_seeds
 from repro.runtime.spec import RunSpec
@@ -66,14 +66,20 @@ def sweep(spec: Union[RunSpec, Mapping],
           runs: int = 8,
           workers: int = 1,
           seeds: Optional[Sequence[int]] = None,
-          check: Optional[bool] = None) -> list[RunResult]:
+          check: Optional[bool] = None,
+          timeout: Optional[float] = None,
+          retry: Optional[RetryPolicy] = None) -> list[RunResult]:
     """Execute ``spec`` across independent seeds; results in seed order.
 
     ``seeds`` defaults to ``fanout_seeds(spec.seed, runs)`` so a sweep is
     reproducible from the one base seed on the spec; pass an explicit
     sequence to pin the shards yourself (``runs`` is then ignored).
-    ``workers > 1`` fans shards over a process pool — per-seed results
-    are bit-identical to the serial path, but come back trace-detached.
+    ``workers > 1`` fans shards over a supervised process pool — per-seed
+    results are bit-identical to the serial path, but come back
+    trace-detached.  ``timeout`` bounds each run's wall clock (a hung
+    worker is killed and the run retried under ``retry``, default
+    :class:`~repro.runtime.executor.RetryPolicy`); see
+    docs/reliability.md for the supervision model.
     """
     base = _coerce_spec(spec)
     if seeds is None:
@@ -81,9 +87,10 @@ def sweep(spec: Union[RunSpec, Mapping],
             raise ConfigurationError(f"runs must be >= 1, got {runs}")
         seeds = fanout_seeds(base.seed, runs)
     shards = [replace(base, seed=int(s)) for s in seeds]
+    executor = ParallelExecutor(workers=workers, timeout=timeout,
+                                retry=retry)
     if check is None:
-        return ParallelExecutor(workers=workers).run_specs(shards)
-    executor = ParallelExecutor(workers=workers)
+        return executor.run_specs(shards)
     if workers <= 1 or len(shards) <= 1:
         return [execute(s, check=check) for s in shards]
     # The pooled path pickles the task by reference; execute's check knob

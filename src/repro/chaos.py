@@ -26,17 +26,18 @@ exactly that scenario, bit for bit.  The CLI exposes campaigns as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.report import Table
 from repro.errors import ConfigurationError
 from repro.obs import CampaignTelemetry, run_record
-from repro.runtime import ParallelExecutor
+from repro.runtime import SupervisedExecutor
 from repro.runtime.seeds import fanout_seeds  # noqa: F401  (re-export: the
 # campaign seed fanout lives in the runtime layer; ``repro.chaos`` keeps
 # the historical name for callers and the CLI)
+from repro.runtime.store import ResultStore, resumable_map, spec_hash
 from repro.scenario import Scenario, ScenarioReport, parse_graph
 from repro.sim.faults import CrashSchedule
 
@@ -185,9 +186,7 @@ class RunVerdict:
         return not self.failures
 
     def replay_command(self, cfg: ChaosConfig) -> str:
-        flags = cfg.cli_flags()
-        return ("python -m repro chaos --replay "
-                f"{self.run_seed}{' ' + flags if flags else ''}")
+        return _replay_command(self.run_seed, cfg)
 
     def summary(self) -> dict[str, Any]:
         return {
@@ -259,6 +258,72 @@ def run_one(index: int, run_seed: int, cfg: ChaosConfig) -> RunVerdict:
     report = scenario.run()
     return RunVerdict(index=index, run_seed=run_seed, scenario=scenario,
                       report=report, failures=check_invariants(report, cfg))
+
+
+def _replay_command(run_seed: int, cfg: ChaosConfig) -> str:
+    flags = cfg.cli_flags()
+    return ("python -m repro chaos --replay "
+            f"{run_seed}{' ' + flags if flags else ''}")
+
+
+# -- checkpoint/resume --------------------------------------------------------
+
+
+def run_key(run_seed: int, cfg: ChaosConfig) -> str:
+    """Content address of one chaos run: the canonical hash of the
+    scenario the run seed deterministically expands to, so the key
+    captures every campaign knob that shapes the run."""
+    return spec_hash(build_run(run_seed, cfg))
+
+
+def _verdict_payload(verdict: RunVerdict) -> dict[str, Any]:
+    """The store payload for one completed run: the flat verdict summary
+    plus the full ``--metrics-out`` record — everything campaign
+    aggregation reads, so a resumed campaign reproduces an uninterrupted
+    one byte for byte without re-simulating."""
+    return {"run_seed": verdict.run_seed, "verdict": verdict.summary(),
+            "record": verdict.run_record()}
+
+
+class _StoredReport:
+    """Minimal report view for a store-served verdict (no trace, no
+    re-derived verdict objects — aggregation reads the stored dicts)."""
+
+    __slots__ = ("trace_mode",)
+
+    def __init__(self, trace_mode: str) -> None:
+        self.trace_mode = trace_mode
+
+
+class StoredVerdict:
+    """A chaos run served from the :class:`ResultStore` instead of
+    re-simulated: duck-types the slice of :class:`RunVerdict` campaign
+    aggregation uses, returning the stored summary and record verbatim
+    (key order preserved), so resumed aggregates are byte-identical."""
+
+    def __init__(self, index: int, run_seed: int, scenario: Scenario,
+                 payload: Mapping[str, Any]) -> None:
+        self.index = index
+        self.run_seed = run_seed
+        self.scenario = scenario
+        self._summary = dict(payload["verdict"])
+        self._record = dict(payload["record"])
+        self.failures = list(self._summary.get("failures", ()))
+        self.report = _StoredReport(
+            trace_mode=str(self._summary.get("trace_mode", "full")))
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def replay_command(self, cfg: ChaosConfig) -> str:
+        return _replay_command(self.run_seed, cfg)
+
+    def summary(self) -> dict[str, Any]:
+        return dict(self._summary)
+
+    def run_record(self) -> dict[str, Any]:
+        return dict(self._record)
 
 
 @dataclass
@@ -338,18 +403,44 @@ def _run_one_detached(task: "tuple[int, int, ChaosConfig]") -> RunVerdict:
     return verdict
 
 
-def run_campaign(cfg: ChaosConfig, workers: int = 1) -> CampaignResult:
+def run_campaign(cfg: ChaosConfig, workers: int = 1,
+                 store: "ResultStore | None" = None,
+                 resume: bool = False,
+                 executor: "SupervisedExecutor | None" = None,
+                 ) -> CampaignResult:
     """Run the whole seeded campaign, fanned over ``workers`` processes.
 
     Each run is a pure function of its run seed, so verdicts are keyed by
     seed and independent of worker count or completion order:
     ``workers=4`` reproduces ``workers=1`` exactly, per seed (the
     determinism suite in ``tests/runtime/test_executor.py`` pins this).
+
+    With a ``store``, each run's verdict is checkpointed under its
+    content address (:func:`run_key`) the moment it completes, so an
+    interrupted campaign keeps everything already computed; with
+    ``resume`` as well, stored runs are served from the store instead of
+    re-simulated, and the aggregates (tables, ``--json``, telemetry,
+    metrics records) are byte-identical to an uninterrupted campaign
+    (pinned by ``tests/runtime/test_resume.py``).
+
+    Pass an ``executor`` to control supervision knobs (per-task timeout,
+    retry policy, self-chaos fault hook); by default one is built from
+    ``workers``.
     """
-    tasks = [(i, run_seed, cfg)
-             for i, run_seed in enumerate(fanout_seeds(cfg.seed,
-                                                       cfg.campaigns))]
-    verdicts = ParallelExecutor(workers=workers).map(_run_one_detached, tasks)
+    seeds = fanout_seeds(cfg.seed, cfg.campaigns)
+    tasks = [(i, run_seed, cfg) for i, run_seed in enumerate(seeds)]
+    executor = executor or SupervisedExecutor(workers=workers)
+    if store is None and not resume:
+        verdicts = executor.map(_run_one_detached, tasks)
+    else:
+        verdicts = resumable_map(
+            _run_one_detached, tasks,
+            keys=[run_key(run_seed, cfg) for run_seed in seeds],
+            encode=_verdict_payload,
+            decode=lambda payload, i, task: StoredVerdict(
+                task[0], task[1], build_run(task[1], cfg), payload),
+            store=store, resume=resume, executor=executor,
+        )
     return CampaignResult(cfg=cfg, verdicts=verdicts)
 
 

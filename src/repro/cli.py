@@ -31,7 +31,16 @@ in lockstep):
   (metrics-only runs; see docs/runtime.md);
 * ``--profile-out PATH`` wraps the command in :mod:`cProfile` and dumps
   a pstats file for ``python -m pstats`` / snakeviz
-  (docs/performance.md).
+  (docs/performance.md);
+* ``--task-timeout SECONDS`` bounds each pooled run's wall clock — a
+  hung worker is killed and the run retried with seeded backoff
+  (docs/reliability.md).
+
+``sweep`` and ``chaos`` additionally accept ``--store PATH`` (checkpoint
+per-run results to a content-addressed JSONL store as they complete) and
+``--resume`` (serve already-stored runs from the store instead of
+re-executing them); an interrupted campaign keeps its partial results and
+resumes to byte-identical output (docs/reliability.md).
 
 ``repro bench`` runs the deterministic microbench harness
 (:mod:`repro.perf.bench`) and emits ``BENCH_engine.json``-shaped output;
@@ -42,9 +51,41 @@ in lockstep):
 from __future__ import annotations
 
 import argparse
+import os
+import pathlib
 import sys
 import time
 from typing import Sequence
+
+
+def _out_path_error(path: "str | None", flag: str) -> "str | None":
+    """One-line diagnosis when an output path cannot work, else None.
+
+    Checked *before* any simulation runs, so a typo'd ``--metrics-out``
+    or ``--profile-out`` fails in milliseconds instead of tracebacking
+    after a long campaign.  Missing parent directories are created (the
+    profiler and bench writer already did so; this makes every output
+    flag behave the same way).
+    """
+    if path is None:
+        return None
+    p = pathlib.Path(path)
+    if p.is_dir():
+        return f"{flag} {path}: is a directory, expected a file path"
+    try:
+        p.parent.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        return f"{flag} {path}: cannot create directory {p.parent} ({exc})"
+    if not os.access(p.parent, os.W_OK):
+        return f"{flag} {path}: directory {p.parent} is not writable"
+    if p.exists() and not os.access(p, os.W_OK):
+        return f"{flag} {path}: file is not writable"
+    return None
+
+
+def _fail_usage(prog: str, message: str) -> int:
+    print(f"{prog}: error: {message}", file=sys.stderr)
+    return 2
 
 
 def _registry():
@@ -108,22 +149,37 @@ def _sweep_one(task: tuple) -> dict:
 
 def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
               metrics_out: str | None = None,
-              trace_sink: str | None = None) -> int:
+              trace_sink: str | None = None,
+              store: "object | None" = None,
+              resume: bool = False,
+              task_timeout: float | None = None) -> int:
     """Run one scenario across ``seeds`` and aggregate the verdicts."""
     import dataclasses
 
     from repro.analysis.report import Table
     from repro.analysis.stats import sweep_many
     from repro.obs import CampaignTelemetry, write_jsonl
-    from repro.runtime import ParallelExecutor
+    from repro.runtime import ParallelExecutor, SupervisedExecutor
+    from repro.runtime.store import resumable_map, spec_hash
     from repro.scenario import Scenario
 
     base = Scenario.from_json(path)
     if trace_sink is not None:
         base = dataclasses.replace(base, trace=trace_sink)
     seeds = list(seeds)
-    rows = ParallelExecutor(workers=workers).map(
-        _sweep_one, [(base, seed) for seed in seeds])
+    shards = [(base, seed) for seed in seeds]
+    if store is not None:
+        executor = SupervisedExecutor(workers=workers, timeout=task_timeout)
+        rows = resumable_map(
+            _sweep_one, shards,
+            keys=[spec_hash(dataclasses.replace(base, seed=int(seed)))
+                  for seed in seeds],
+            encode=lambda row: row,
+            decode=lambda payload, i, item: payload,
+            store=store, resume=resume, executor=executor)
+    else:
+        rows = ParallelExecutor(workers=workers,
+                                timeout=task_timeout).map(_sweep_one, shards)
     by_seed = dict(zip(seeds, (row["stats"] for row in rows)))
     stats = sweep_many(lambda seed: by_seed[seed], seeds)
     table = Table(["metric", "mean ± std [min, max] (n)"],
@@ -160,12 +216,52 @@ def _chaos_config(args) -> "ChaosConfig":
     )
 
 
+def _open_store(args, prog: str):
+    """``(store, error_exit_code)`` from the ``--store``/``--resume``
+    flags; store is None when the flags are unused."""
+    from repro.errors import ReproError
+    from repro.runtime.store import ResultStore
+
+    if args.resume and not args.store:
+        return None, _fail_usage(prog, "--resume requires --store PATH")
+    if not args.store:
+        return None, None
+    try:
+        return ResultStore(args.store), None
+    except ReproError as exc:
+        return None, _fail_usage(prog, str(exc))
+
+
+def _report_store(args, store, prog: str) -> None:
+    """Cache-hit accounting on stderr (kept out of stdout so campaign
+    output stays byte-comparable across fresh/resumed runs)."""
+    if store is None:
+        return
+    stats = store.stats()
+    print(f"{prog}: store {args.store}: "
+          f"{int(stats.get('store.hits', 0))} cache hit(s), "
+          f"{int(stats.get('store.puts', 0))} new result(s), "
+          f"{len(store)} total", file=sys.stderr)
+
+
+def _report_interrupt(args, store, prog: str) -> int:
+    if store is not None:
+        print(f"{prog}: interrupted; {len(store)} result(s) checkpointed in "
+              f"{args.store} — rerun with --store {args.store} --resume to "
+              "continue", file=sys.stderr)
+    else:
+        print(f"{prog}: interrupted (no --store: partial results were "
+              "discarded)", file=sys.stderr)
+    return 130
+
+
 def cmd_chaos(args) -> int:
     """Run a seeded chaos campaign (or replay a single failed run)."""
     import json
 
     from repro.chaos import replay, run_campaign
     from repro.errors import ConfigurationError
+    from repro.runtime import SupervisedExecutor
 
     try:
         cfg = _chaos_config(args)
@@ -186,11 +282,21 @@ def cmd_chaos(args) -> int:
             write_jsonl(args.metrics_out, [verdict.run_record()])
         return 0 if verdict.ok else 1
 
-    result = run_campaign(cfg, workers=args.workers)
+    store, err = _open_store(args, "repro chaos")
+    if err is not None:
+        return err
+    executor = SupervisedExecutor(workers=args.workers,
+                                  timeout=args.task_timeout)
+    try:
+        result = run_campaign(cfg, workers=args.workers, store=store,
+                              resume=args.resume, executor=executor)
+    except KeyboardInterrupt:
+        return _report_interrupt(args, store, "repro chaos")
     if args.json:
         print(json.dumps(result.to_json(), indent=2))
     else:
         print(result.render())
+    _report_store(args, store, "repro chaos")
     if args.metrics_out is not None:
         from repro.obs import write_jsonl
 
@@ -248,9 +354,15 @@ def cmd_bench(args) -> int:
         run_bench,
     )
 
+    # Fail on bad paths *before* spending the bench budget: a missing
+    # baseline or unwritable report path is a one-line error, not a
+    # traceback after the timed runs.
+    err = _out_path_error(args.out, "--out")
+    if err is not None:
+        return _fail_usage("repro bench", err)
     try:
-        results = run_bench(args.workloads or None, budget=args.budget)
         baseline = load_baseline(args.baseline)
+        results = run_bench(args.workloads or None, budget=args.budget)
     except ConfigurationError as exc:
         print(f"repro bench: error: {exc}", file=sys.stderr)
         return 2
@@ -289,7 +401,8 @@ def _run_experiment(name: str) -> tuple:
 
 def cmd_run(names: Sequence[str], workers: int = 1,
             metrics_out: str | None = None,
-            trace_sink: str | None = None) -> int:
+            trace_sink: str | None = None,
+            task_timeout: float | None = None) -> int:
     from repro.runtime import ParallelExecutor
 
     registry = _registry()
@@ -307,7 +420,9 @@ def cmd_run(names: Sequence[str], workers: int = 1,
         print("use 'python -m repro list'", file=sys.stderr)
         return 2
     failures = 0
-    outcomes = ParallelExecutor(workers=workers).map(_run_experiment, names)
+    outcomes = ParallelExecutor(workers=workers,
+                                timeout=task_timeout).map(_run_experiment,
+                                                          names)
     for result, dt in outcomes:
         print(result.render())
         print(f"\n({dt:.1f}s wall)\n{'=' * 72}")
@@ -334,6 +449,11 @@ def _common_parents() -> list[argparse.ArgumentParser]:
     workers.add_argument("--workers", type=int, default=1,
                          help="worker processes to fan runs over (default 1 "
                               "= serial; per-seed results are identical)")
+    workers.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget per pooled run; a hung "
+                              "worker is killed and the run retried with "
+                              "seeded backoff (docs/reliability.md)")
     metrics = argparse.ArgumentParser(add_help=False)
     metrics.add_argument("--metrics-out", default=None, metavar="PATH",
                          help="write one JSONL metric record per run "
@@ -358,6 +478,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "Exclusion'",
     )
     parents = _common_parents()
+    storep = argparse.ArgumentParser(add_help=False)
+    storep.add_argument("--store", default=None, metavar="PATH",
+                        help="checkpoint per-run results to a "
+                             "content-addressed JSONL store as they land "
+                             "(docs/reliability.md)")
+    storep.add_argument("--resume", action="store_true",
+                        help="serve runs already in --store from the store "
+                             "instead of re-executing them")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids and titles")
     runp = sub.add_parser("run", parents=parents,
@@ -367,7 +495,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     scen = sub.add_parser("scenario", parents=parents,
                           help="run a declarative scenario from a JSON file")
     scen.add_argument("path", help="path to the scenario JSON")
-    swp = sub.add_parser("sweep", parents=parents,
+    swp = sub.add_parser("sweep", parents=parents + [storep],
                          help="run a scenario across a seed fanout and "
                               "aggregate statistics")
     swp.add_argument("path", help="path to the scenario JSON")
@@ -375,7 +503,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="number of derived seeds (default 8)")
     swp.add_argument("--seed", type=int, default=0,
                      help="base seed the fanout derives from (default 0)")
-    cha = sub.add_parser("chaos", parents=parents,
+    cha = sub.add_parser("chaos", parents=parents + [storep],
                          help="run a seeded randomized fault campaign and "
                               "check dining/oracle invariants per run")
     cha.add_argument("--campaigns", type=int, default=20,
@@ -441,6 +569,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "bench":
         return cmd_bench(args)
 
+    # Output-path flags fail in milliseconds, not after a long campaign.
+    for flag, value in (("--metrics-out", args.metrics_out),
+                        ("--profile-out", args.profile_out)):
+        err = _out_path_error(value, flag)
+        if err is not None:
+            return _fail_usage(f"repro {args.command}", err)
+
     from repro.perf.profiler import profile_to
 
     with profile_to(args.profile_out):
@@ -453,15 +588,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "sweep":
             from repro.runtime import fanout_seeds
 
-            return cmd_sweep(args.path, fanout_seeds(args.seed, args.seeds),
-                             workers=args.workers,
-                             metrics_out=args.metrics_out,
-                             trace_sink=args.trace_sink)
+            store, err = _open_store(args, "repro sweep")
+            if err is not None:
+                return err
+            try:
+                code = cmd_sweep(args.path,
+                                 fanout_seeds(args.seed, args.seeds),
+                                 workers=args.workers,
+                                 metrics_out=args.metrics_out,
+                                 trace_sink=args.trace_sink,
+                                 store=store, resume=args.resume,
+                                 task_timeout=args.task_timeout)
+            except KeyboardInterrupt:
+                return _report_interrupt(args, store, "repro sweep")
+            _report_store(args, store, "repro sweep")
+            return code
         if args.command == "chaos":
             return cmd_chaos(args)
         return cmd_run(args.names, workers=args.workers,
                        metrics_out=args.metrics_out,
-                       trace_sink=args.trace_sink)
+                       trace_sink=args.trace_sink,
+                       task_timeout=args.task_timeout)
 
 
 if __name__ == "__main__":  # pragma: no cover

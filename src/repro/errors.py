@@ -19,6 +19,11 @@ class ConfigurationError(ReproError):
     """A simulation, oracle, or algorithm was configured incoherently."""
 
 
+class ExecutionError(ReproError):
+    """The campaign execution harness failed (worker pool, result store,
+    or checkpoint/resume plumbing) — distinct from a *simulated* fault."""
+
+
 class CrashedProcessError(SimulationError):
     """An operation was attempted on behalf of a crashed process."""
 

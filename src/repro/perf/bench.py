@@ -216,11 +216,25 @@ def run_bench(names: Sequence[str] | None = None, budget: float = 1.5,
 
 
 def load_baseline(path: "str | pathlib.Path | None" = None) -> Optional[dict]:
-    """The committed baseline numbers, or None when the file is absent."""
+    """The committed baseline numbers.
+
+    With no explicit path, a missing default baseline is a soft ``None``
+    (fresh checkouts simply have nothing to compare against).  An
+    *explicitly requested* baseline that is missing or malformed is a
+    :class:`ConfigurationError` — the caller named a file and deserves a
+    one-line actionable failure, not a silent no-comparison run.
+    """
     p = pathlib.Path(path) if path is not None else BASELINE_PATH
     if not p.exists():
+        if path is not None:
+            raise ConfigurationError(
+                f"baseline {p} does not exist (pass --baseline PATH to an "
+                "existing BENCH_engine.json-shaped file)")
         return None
-    return json.loads(p.read_text(encoding="utf-8"))
+    try:
+        return json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read baseline {p}: {exc}") from exc
 
 
 def _baseline_eps(baseline: Mapping[str, Any], name: str) -> Optional[float]:

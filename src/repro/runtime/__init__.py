@@ -15,11 +15,19 @@ wired, executed, and judged:
 * :class:`~repro.runtime.result.RunResult` — the uniform outcome envelope
   (verdicts, metrics, trace handle + sink mode);
 * :class:`~repro.runtime.executor.ParallelExecutor` — deterministic
-  multi-core fan-out of spec lists (``--workers N`` on the CLI);
+  multi-core fan-out of spec lists (``--workers N`` on the CLI), backed
+  by the fault-tolerant
+  :class:`~repro.runtime.executor.SupervisedExecutor` (per-task
+  timeouts, crashed-worker detection, seeded backoff retry, graceful
+  serial degradation);
+* :class:`~repro.runtime.store.ResultStore` /
+  :func:`~repro.runtime.store.spec_hash` — content-addressed result
+  caching and campaign checkpoint/resume (``--store`` / ``--resume``);
 * :func:`~repro.runtime.seeds.fanout_seeds` — stable campaign seed
   derivation.
 
-See docs/runtime.md for the architecture walkthrough.
+See docs/runtime.md for the architecture walkthrough and
+docs/reliability.md for the supervision / checkpoint-resume layer.
 """
 
 from repro.runtime.builder import (
@@ -33,17 +41,26 @@ from repro.runtime.builder import (
     instantiate,
     justify_violations,
 )
-from repro.runtime.executor import ParallelExecutor
+from repro.runtime.executor import (
+    ParallelExecutor,
+    RetryPolicy,
+    SupervisedExecutor,
+    mp_context,
+)
 from repro.runtime.result import RunResult
 from repro.runtime.seeds import fanout_seeds
 from repro.runtime.spec import RunSpec, parse_graph
+from repro.runtime.store import ResultStore, resumable_map, spec_hash
 
 __all__ = [
     "INSTANCE",
     "BuiltRun",
     "ParallelExecutor",
+    "ResultStore",
+    "RetryPolicy",
     "RunResult",
     "RunSpec",
+    "SupervisedExecutor",
     "System",
     "build_client",
     "build_dining",
@@ -52,5 +69,8 @@ __all__ = [
     "fanout_seeds",
     "instantiate",
     "justify_violations",
+    "mp_context",
     "parse_graph",
+    "resumable_map",
+    "spec_hash",
 ]

@@ -129,7 +129,8 @@ def build_system(
                                              latency=5.0),
         )
     else:
-        raise ValueError(f"unknown oracle kind {oracle!r}")
+        raise ConfigurationError(
+            f"unknown oracle kind {oracle!r} (use hb | perfect)")
 
     def provider(pid: ProcessId):
         module = modules[pid]
@@ -322,6 +323,8 @@ def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
     trace sink retains rows (``counters`` runs are metrics-only; their
     verdict fields stay ``None`` and ``result.checked`` is False).
     """
+    from repro.runtime.store import spec_hash
+
     built = instantiate(spec)
     eng = built.engine
     eng.run()
@@ -339,6 +342,7 @@ def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
         trace_mode=eng.trace.mode,
         trace_evicted=eng.trace.evicted,
         trace=eng.trace,
+        spec_key=spec_hash(spec),
     )
     if not check:
         return result

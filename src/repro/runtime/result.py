@@ -68,6 +68,12 @@ class RunResult:
     #: worker-process boundary in parallel campaigns — verdicts and
     #: metrics travel, bulk event history does not.
     trace: "Optional[Trace]" = None
+    #: Content address of the spec that produced this result
+    #: (:func:`repro.runtime.store.spec_hash`): the key the run is cached
+    #: under in a :class:`~repro.runtime.store.ResultStore`.  Stamped by
+    #: :func:`~repro.runtime.builder.execute`; kept out of :meth:`summary`
+    #: so run records stay comparable across store/no-store campaigns.
+    spec_key: Optional[str] = None
 
     @property
     def checked(self) -> bool:

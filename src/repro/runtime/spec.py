@@ -92,6 +92,36 @@ class RunSpec:
     #: probes are pure arithmetic and cost little.
     obs: bool = True
 
+    def __post_init__(self) -> None:
+        """Eager validation: a malformed spec fails at construction with a
+        clear :class:`~repro.errors.ReproError`, not deep inside a worker
+        process after the campaign has already fanned out."""
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError(
+                f"seed must be an int, got {self.seed!r}")
+        if self.max_time <= 0:
+            raise ConfigurationError(
+                f"max_time must be positive, got {self.max_time}")
+        if self.gst < 0:
+            raise ConfigurationError(
+                f"gst must be non-negative, got {self.gst}")
+        if self.grace < 0:
+            raise ConfigurationError(
+                f"grace must be non-negative, got {self.grace}")
+        for name in ("drop", "duplicate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1], got {value}")
+        if self.oracle not in ("hb", "perfect"):
+            raise ConfigurationError(
+                f"unknown oracle kind {self.oracle!r} (use hb | perfect)")
+        # Delegate trace-sink spec syntax to the sink factory so the
+        # accepted grammar is declared exactly once.
+        from repro.sim.sinks import make_sink
+
+        make_sink(self.trace)
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
         unknown = set(data) - {f.name for f in cls.__dataclass_fields__.values()}

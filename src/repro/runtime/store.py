@@ -1,0 +1,203 @@
+"""Content-addressed result store: spec hash in, cached run payload out.
+
+:func:`repro.runtime.builder.execute` is a pure function of its
+:class:`~repro.runtime.spec.RunSpec`, so a run's outcome is fully named
+by a canonical hash of the spec.  :class:`ResultStore` exploits that: a
+JSONL-segment file keyed by :func:`spec_hash`, appended as results land,
+so
+
+* a re-submitted spec is a **cache hit** (no re-simulation), and
+* a campaign interrupted mid-flight keeps every per-seed result it
+  already computed — ``repro chaos --resume`` / ``repro sweep --resume``
+  skip the stored seeds and produce aggregates byte-identical to an
+  uninterrupted run.
+
+Durability model: one JSON object per line, appended with flush+fsync
+per put, last-write-wins on duplicate keys at load.  A crash mid-append
+leaves at most one truncated final line, which load tolerates (the
+payload of that line is simply lost and will be recomputed).  Payload
+JSON preserves key order (no ``sort_keys``), so dicts round-trip with
+their original insertion order and resumed aggregates serialize to the
+same bytes as fresh ones.
+
+:func:`resumable_map` is the generic checkpoint/resume harness over a
+:class:`~repro.runtime.executor.SupervisedExecutor`: given per-task
+store keys plus encode/decode hooks, it serves cached tasks from the
+store and checkpoints fresh results the moment they complete — also on
+the serial path, so an interrupted ``--workers 1`` campaign resumes too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Callable, Mapping, Optional, Sequence, TypeVar
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.executor import SupervisedExecutor
+from repro.runtime.spec import RunSpec
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Schema tag stamped on every store line.
+STORE_SCHEMA = "repro.store.v1"
+
+#: Version salt mixed into every spec hash: bump when RunSpec semantics
+#: change incompatibly, so stale stores miss instead of serving results
+#: computed under different rules.
+SPEC_HASH_VERSION = "repro.spec.v1"
+
+
+def canonical_spec(spec: RunSpec) -> dict[str, Any]:
+    """The spec as a plain, deterministic dict (all fields, field order)."""
+    return dataclasses.asdict(spec)
+
+
+def spec_hash(spec: RunSpec) -> str:
+    """Canonical content address of one run: sha256 over the versioned,
+    key-sorted JSON encoding of every spec field.
+
+    Two equal specs hash equally regardless of construction path
+    (``RunSpec`` vs ``Scenario``, JSON vs kwargs), and the hash is stable
+    across processes, machines, and worker counts.
+    """
+    payload = {"version": SPEC_HASH_VERSION, "spec": canonical_spec(spec)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Append-only JSONL store mapping content keys to result payloads.
+
+    ``get``/``put``/``__contains__`` are the whole surface; hit/miss/put
+    counts publish into ``metrics`` (``store.hits``, ``store.misses``,
+    ``store.puts``, ``store.corrupt_lines``) so cache behavior is
+    observable — the acceptance path for resume verification.
+    """
+
+    def __init__(self, path: "str | pathlib.Path",
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.path = pathlib.Path(path)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._index: dict[str, dict[str, Any]] = {}
+        if self.path.exists():
+            if self.path.is_dir():
+                raise ConfigurationError(
+                    f"store path {self.path} is a directory")
+            self._load()
+        else:
+            parent = self.path.parent
+            if not parent.is_dir():
+                raise ConfigurationError(
+                    f"store directory {parent} does not exist")
+            if not os.access(parent, os.W_OK):
+                raise ConfigurationError(
+                    f"store directory {parent} is not writable")
+
+    def _load(self) -> None:
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                key = rec["key"]
+                payload = rec["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                if i == len(lines) - 1 and not text.endswith("\n"):
+                    # Torn final append (crash mid-write): that one result
+                    # is lost and will be recomputed; everything before it
+                    # is intact.
+                    self.metrics.counter("store.corrupt_lines").inc()
+                    continue
+                raise ExecutionError(
+                    f"{self.path}:{i + 1}: corrupt store line (not a "
+                    f"{STORE_SCHEMA} record); move the file aside or "
+                    "restart without --store") from None
+            self._index[key] = payload
+
+    # -- the surface ---------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """The payload stored under ``key``; counts a hit or a miss."""
+        payload = self._index.get(key)
+        if payload is None:
+            self.metrics.counter("store.misses").inc()
+            return None
+        self.metrics.counter("store.hits").inc()
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Durably append ``key -> payload`` (flush + fsync per record)."""
+        line = json.dumps(
+            {"schema": STORE_SCHEMA, "key": key, "payload": payload},
+            separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._index[key] = dict(payload)
+        self.metrics.counter("store.puts").inc()
+
+    def stats(self) -> dict[str, float]:
+        """Flat counter view (``store.hits`` / ``.misses`` / ``.puts``)."""
+        return dict(self.metrics.snapshot().counters)
+
+
+def resumable_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    keys: Sequence[str],
+    *,
+    encode: Callable[[R], Mapping[str, Any]],
+    decode: Callable[[dict[str, Any], int, T], R],
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+    executor: Optional[SupervisedExecutor] = None,
+) -> list[R]:
+    """``[fn(x) for x in items]`` with content-addressed checkpointing.
+
+    ``keys[i]`` is the content address of ``items[i]``.  With ``resume``,
+    stored keys are served from ``store`` via ``decode(payload, i, item)``
+    without executing; fresh results are checkpointed via ``encode`` the
+    moment they land (completion order), so an interruption at any point
+    loses at most the tasks still in flight.  Results come back in item
+    order either way — and, because every task is a pure function of its
+    item, a resumed map returns exactly what an uninterrupted one would.
+    """
+    if len(keys) != len(items):
+        raise ConfigurationError(
+            f"got {len(keys)} keys for {len(items)} items")
+    if resume and store is None:
+        raise ConfigurationError("resume requires a result store")
+    results: dict[int, R] = {}
+    todo: list[int] = []
+    for i, key in enumerate(keys):
+        payload = store.get(key) if (resume and store is not None) else None
+        if payload is not None:
+            results[i] = decode(payload, i, items[i])
+        else:
+            todo.append(i)
+
+    def checkpoint(pos: int, value: R) -> None:
+        index = todo[pos]
+        results[index] = value
+        if store is not None:
+            store.put(keys[index], dict(encode(value)))
+
+    executor = executor or SupervisedExecutor(workers=1)
+    executor.map(fn, [items[i] for i in todo], on_result=checkpoint)
+    return [results[i] for i in range(len(items))]

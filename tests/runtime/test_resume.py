@@ -1,0 +1,159 @@
+"""Checkpoint/resume acceptance: interrupted campaigns resume to
+byte-identical output, and SIGINT tears the pool down cleanly.
+
+The interruption is simulated by truncating a completed store file to
+its first K lines — exactly the on-disk state a campaign killed after K
+checkpointed results leaves behind (each ``put`` is one flushed+fsynced
+line).  The resumed run must then (a) serve those K runs from the store,
+counted as cache hits, and (b) print stdout byte-identical to an
+uninterrupted reference.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+def _truncate_store(path, keep: int) -> None:
+    lines = path.read_text().splitlines(keepends=True)
+    assert len(lines) > keep, "need more results than we keep"
+    path.write_text("".join(lines[:keep]))
+
+
+CHAOS = ["chaos", "--campaigns", "4", "--seed", "11",
+         "--max-time", "400.0", "--json"]
+
+
+class TestChaosResume:
+    def test_resume_after_interruption_is_byte_identical(self, tmp_path,
+                                                         capsys):
+        store = tmp_path / "s.jsonl"
+        assert main(CHAOS) == 0
+        reference = capsys.readouterr().out
+
+        assert main(CHAOS + ["--store", str(store)]) == 0
+        fresh = capsys.readouterr()
+        assert fresh.out == reference
+        assert "4 new result(s)" in fresh.err
+
+        _truncate_store(store, keep=2)  # the simulated mid-flight kill
+        assert main(CHAOS + ["--store", str(store), "--resume"]) == 0
+        resumed = capsys.readouterr()
+        assert resumed.out == reference
+        assert "2 cache hit(s)" in resumed.err
+        assert "2 new result(s)" in resumed.err
+
+    def test_full_store_resume_runs_nothing(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        assert main(CHAOS + ["--store", str(store)]) == 0
+        reference = capsys.readouterr().out
+        assert main(CHAOS + ["--store", str(store), "--resume"]) == 0
+        resumed = capsys.readouterr()
+        assert resumed.out == reference
+        assert "4 cache hit(s), 0 new result(s)" in resumed.err
+
+    def test_growing_a_campaign_reuses_the_prefix(self, tmp_path, capsys):
+        # fanout_seeds(seed, 4) is a prefix of fanout_seeds(seed, 6), so
+        # raising --campaigns on an existing store only runs the new tail.
+        store = tmp_path / "s.jsonl"
+        assert main(CHAOS + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        bigger = [a if a != "4" else "6" for a in CHAOS]
+        assert main(bigger + ["--store", str(store), "--resume"]) == 0
+        grown = capsys.readouterr()
+        assert "4 cache hit(s)" in grown.err
+        assert "2 new result(s)" in grown.err
+
+    def test_resume_without_store_is_a_usage_error(self, capsys):
+        assert main(CHAOS + ["--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_metrics_out_identical_across_resume(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        ref = tmp_path / "ref.jsonl"
+        out = tmp_path / "resumed.jsonl"
+        assert main(CHAOS + ["--metrics-out", str(ref)]) == 0
+        assert main(CHAOS + ["--store", str(store)]) == 0
+        _truncate_store(store, keep=1)
+        assert main(CHAOS + ["--store", str(store), "--resume",
+                             "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        assert out.read_text() == ref.read_text()
+
+
+class TestSweepResume:
+    def _scenario(self, tmp_path):
+        path = tmp_path / "scn.json"
+        path.write_text(json.dumps({"name": "rs", "graph": "ring:3",
+                                    "max_time": 400.0, "grace": 150.0}))
+        return str(path)
+
+    def test_sweep_resume_is_byte_identical(self, tmp_path, capsys):
+        scenario = self._scenario(tmp_path)
+        store = tmp_path / "s.jsonl"
+        argv = ["sweep", scenario, "--seeds", "4", "--seed", "5"]
+        assert main(argv) == 0
+        reference = capsys.readouterr().out
+
+        assert main(argv + ["--store", str(store)]) == 0
+        assert capsys.readouterr().out == reference
+        _truncate_store(store, keep=2)
+        assert main(argv + ["--store", str(store), "--resume"]) == 0
+        resumed = capsys.readouterr()
+        assert resumed.out == reference
+        assert "2 cache hit(s)" in resumed.err
+
+
+@pytest.mark.slow
+class TestSigintShutdown:
+    def test_sigint_flushes_store_and_leaves_no_orphans(self, tmp_path):
+        """SIGINT mid-campaign: exit 130, a resume hint, a parseable
+        store holding whatever completed, and zero orphaned workers."""
+        store = tmp_path / "sig.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")]))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "chaos",
+             "--campaigns", "500", "--seed", "2", "--workers", "2",
+             "--store", str(store)],
+            env=env, start_new_session=True,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        time.sleep(3.0)  # let workers spin up and some runs land
+        os.killpg(proc.pid, signal.SIGINT)
+        try:
+            _, err = proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            os.killpg(proc.pid, signal.SIGKILL)
+            pytest.fail("repro chaos did not exit after SIGINT")
+        assert proc.returncode == 130, err
+        assert "rerun with --store" in err
+
+        # Every store line must be a complete, valid checkpoint record.
+        if store.exists():
+            for line in store.read_text().splitlines():
+                rec = json.loads(line)
+                assert rec["schema"] == "repro.store.v1"
+
+        # No orphaned worker may survive the CLI process (forked workers
+        # inherit its cmdline, so the store path identifies them).
+        time.sleep(1.0)
+        orphans = []
+        for pid in os.listdir("/proc"):
+            if not pid.isdigit() or int(pid) == os.getpid():
+                continue
+            try:
+                with open(f"/proc/{pid}/cmdline", "rb") as fh:
+                    cmdline = fh.read().decode(errors="replace")
+            except OSError:
+                continue
+            if str(store) in cmdline:
+                orphans.append((pid, cmdline))
+        assert not orphans, f"orphaned workers: {orphans}"

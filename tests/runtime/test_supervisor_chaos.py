@@ -1,0 +1,131 @@
+"""Self-chaos suite: the supervisor must survive the faults it manages.
+
+Fault injection rides the :class:`SupervisedExecutor` ``fault_hook`` —
+a callable run *inside the worker* before each task, here used to
+``os._exit`` (simulating OOM-kill / segfault) or hang (simulating a
+wedged run) on chosen attempts.  First-attempt-only hooks coordinate
+through marker files on disk, so the retried attempt sails through and
+the map must still return exactly what an unsupervised run would.
+"""
+
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.chaos import ChaosConfig, run_campaign
+from repro.runtime import RetryPolicy, SupervisedExecutor
+
+#: Fast backoff so retry-path tests cost milliseconds, not seconds.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_initial=0.01,
+                         backoff_max=0.02, jitter=0.25, seed=0)
+
+#: Directory the fault hooks coordinate through; set by the fixture
+#: before workers fork, inherited by them.
+_MARKER_DIR = None
+
+
+@pytest.fixture
+def marker_dir(tmp_path):
+    global _MARKER_DIR
+    _MARKER_DIR = tmp_path
+    yield tmp_path
+    _MARKER_DIR = None
+
+
+def _once(task_id: int) -> bool:
+    """True exactly once per task id (marker file claims the attempt)."""
+    marker = pathlib.Path(_MARKER_DIR) / f"task{task_id}"
+    if marker.exists():
+        return False
+    marker.write_text("seen")
+    return True
+
+
+def _square(x):
+    return x * x
+
+
+def _crash_task0_once(worker_id, task_id):
+    if task_id == 0 and _once(task_id):
+        os._exit(137)  # simulated SIGKILL / OOM: no cleanup, no traceback
+
+
+def _hang_task1_once(worker_id, task_id):
+    if task_id == 1 and _once(task_id):
+        time.sleep(60.0)
+
+
+def _always_crash(worker_id, task_id):
+    os._exit(137)
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * x
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_detected_and_task_retried(self, marker_dir):
+        ex = SupervisedExecutor(workers=2, retry=FAST_RETRY,
+                                fault_hook=_crash_task0_once)
+        assert ex.map(_square, range(6)) == [x * x for x in range(6)]
+        stats = ex.stats()
+        assert stats["executor.worker_crashes"] >= 1
+        assert stats["executor.retries"] >= 1
+        assert stats["executor.tasks"] == 6
+
+    def test_hung_worker_is_killed_and_task_retried(self, marker_dir):
+        ex = SupervisedExecutor(workers=2, timeout=0.5, retry=FAST_RETRY,
+                                fault_hook=_hang_task1_once)
+        assert ex.map(_square, range(4)) == [x * x for x in range(4)]
+        stats = ex.stats()
+        assert stats["executor.timeouts"] >= 1
+        assert stats["executor.retries"] >= 1
+
+    def test_retry_exhaustion_falls_back_inline(self, marker_dir):
+        # Every pooled attempt dies, so each task must eventually run
+        # in-process: graceful degradation, never data loss.
+        ex = SupervisedExecutor(workers=2, retry=FAST_RETRY,
+                                degrade_after=1000,
+                                fault_hook=_always_crash)
+        assert ex.map(_square, range(3)) == [0, 1, 4]
+        assert ex.stats()["executor.inline_fallbacks"] >= 1
+
+    def test_irrecoverable_pool_degrades_to_serial(self, marker_dir):
+        ex = SupervisedExecutor(workers=2, retry=FAST_RETRY,
+                                degrade_after=2,
+                                fault_hook=_always_crash)
+        assert ex.map(_square, range(5)) == [x * x for x in range(5)]
+        assert ex.stats()["executor.degraded"] == 1.0
+
+    def test_clean_task_exception_is_not_retried(self):
+        # A deterministic Python error would recur on retry; Pool.map
+        # semantics: re-raise in the parent, zero retries burned.
+        ex = SupervisedExecutor(workers=2, retry=FAST_RETRY)
+        with pytest.raises(ValueError, match="three"):
+            ex.map(_raise_on_three, range(6))
+        assert ex.stats().get("executor.retries", 0) == 0
+
+
+class TestCampaignUnderChaos:
+    def test_crashed_worker_does_not_change_campaign_results(self,
+                                                             marker_dir):
+        """The acceptance contract: a campaign whose worker gets KILLed
+        mid-flight reports byte-identical verdicts to an undisturbed one
+        (tasks are pure functions of their seed; retries recompute)."""
+        cfg = ChaosConfig(campaigns=4, seed=13, max_time=400.0)
+        calm = run_campaign(cfg, workers=2)
+        chaotic = run_campaign(
+            cfg, executor=SupervisedExecutor(
+                workers=2, retry=FAST_RETRY, fault_hook=_crash_task0_once))
+        assert [v.summary() for v in calm.verdicts] == \
+            [v.summary() for v in chaotic.verdicts]
+
+    def test_worker_recycling_after_maxtasksperchild(self):
+        ex = SupervisedExecutor(workers=2, maxtasksperchild=2,
+                                retry=FAST_RETRY)
+        assert ex.map(_square, range(10)) == [x * x for x in range(10)]
+        assert ex.stats()["executor.workers_recycled"] >= 1

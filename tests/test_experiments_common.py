@@ -36,7 +36,9 @@ def test_build_system_perfect_oracle():
 
 
 def test_build_system_rejects_unknown_oracle():
-    with pytest.raises(ValueError):
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
         build_system(["a", "b"], seed=1, oracle="psychic")
 
 
