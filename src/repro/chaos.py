@@ -78,6 +78,14 @@ class ChaosConfig:
     #: only — the mode long perf campaigns use); :func:`check_invariants`
     #: then has nothing to judge and reports no failures.
     trace: str = "full"
+    #: Pair-selection policy threaded into every built scenario (``all`` |
+    #: ``neighbors`` | ``neighbors:<k>``).  ``neighbors`` is what makes
+    #: large sparse topologies (``rgg:100:...``) campaign-tractable; see
+    #: docs/topologies.md.
+    pairs: str = "all"
+    #: Accept disconnected conflict graphs (components monitored
+    #: independently) — low-radius rgg draws commonly disconnect.
+    allow_disconnected: bool = False
 
     def __post_init__(self) -> None:
         for name in ("drop_max", "duplicate_max", "partition_prob",
@@ -88,11 +96,16 @@ class ChaosConfig:
                     f"{name} must be a probability, got {value}")
         if self.max_time <= 0:
             raise ConfigurationError("max_time must be positive")
+        from repro.core.extraction import PairSelection
+
+        PairSelection.parse(self.pairs)
 
     def cli_flags(self) -> str:
         """The non-default flags needed to reproduce runs of this config."""
         default = ChaosConfig()
         flags = []
+        if tuple(self.graphs) != tuple(default.graphs):
+            flags.append("--graphs " + " ".join(self.graphs))
         for name, flag in (("drop_max", "--drop-max"),
                            ("duplicate_max", "--duplicate-max"),
                            ("partition_prob", "--partition-prob"),
@@ -106,6 +119,10 @@ class ChaosConfig:
             flags.append("--no-transport")
         if self.trace != default.trace:
             flags.append(f"--trace-sink {self.trace}")
+        if self.pairs != default.pairs:
+            flags.append(f"--pairs {self.pairs}")
+        if self.allow_disconnected:
+            flags.append("--allow-disconnected")
         return " ".join(flags)
 
 
@@ -168,6 +185,8 @@ def build_run(run_seed: int, cfg: ChaosConfig) -> Scenario:
                    if cfg.transport else False),
         slow=slow,
         trace=cfg.trace,
+        pairs=cfg.pairs,
+        allow_disconnected=cfg.allow_disconnected,
     )
 
 

@@ -12,8 +12,10 @@ Usage::
     python -m repro chaos --replay 2885616951     # reproduce one run
     python -m repro chaos --campaigns 20 --metrics-out out.jsonl
     python -m repro report out.jsonl              # campaign telemetry table
+    python -m repro chaos --graphs rgg:100:0.15:7 --pairs neighbors
     python -m repro bench                         # engine microbenchmarks
     python -m repro bench --check                 # fail on perf regression
+    python -m repro bench --scaling               # events/sec-vs-n curve
 
 Four flags are accepted uniformly by ``run``/``scenario``/``sweep``/
 ``chaos`` (shared argparse parent parsers, so helptext and defaults stay
@@ -202,6 +204,9 @@ def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
 def _chaos_config(args) -> "ChaosConfig":
     from repro.chaos import ChaosConfig
 
+    kwargs = {}
+    if args.graphs:
+        kwargs["graphs"] = tuple(args.graphs)
     return ChaosConfig(
         campaigns=args.campaigns,
         seed=args.seed,
@@ -213,6 +218,9 @@ def _chaos_config(args) -> "ChaosConfig":
         max_time=args.max_time,
         transport=not args.no_transport,
         trace=args.trace_sink or "full",
+        pairs=args.pairs,
+        allow_disconnected=args.allow_disconnected,
+        **kwargs,
     )
 
 
@@ -340,6 +348,39 @@ def cmd_report(path: str, as_json: bool = False,
     return 0
 
 
+def _cmd_bench_scaling(args) -> int:
+    """The events/sec-vs-n scaling curve (``repro bench --scaling``)."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.perf.scaling import (
+        SCALING_PATH,
+        emit_scaling_report,
+        render_scaling,
+        run_scaling,
+    )
+
+    out = args.out if args.out is not None else str(SCALING_PATH)
+    err = _out_path_error(out, "--out")
+    if err is not None:
+        return _fail_usage("repro bench", err)
+    kwargs = {"families": args.workloads or None}
+    if args.ns:
+        kwargs["ns"] = args.ns
+    try:
+        points = run_scaling(**kwargs)
+    except ConfigurationError as exc:
+        print(f"repro bench: error: {exc}", file=sys.stderr)
+        return 2
+    payload = emit_scaling_report(points, out=out)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_scaling(points))
+        print(f"scaling report written to {out}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Run the engine microbench harness (see docs/performance.md)."""
     import json
@@ -354,6 +395,8 @@ def cmd_bench(args) -> int:
         run_bench,
     )
 
+    if args.scaling:
+        return _cmd_bench_scaling(args)
     # Fail on bad paths *before* spending the bench budget: a missing
     # baseline or unwritable report path is a one-line error, not a
     # traceback after the timed runs.
@@ -527,6 +570,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     cha.add_argument("--no-transport", action="store_true",
                      help="expose raw lossy links to the algorithms "
                           "(negative testing; expect invariant failures)")
+    cha.add_argument("--graphs", nargs="+", default=None, metavar="SPEC",
+                     help="topology pool runs draw from (graph spec strings, "
+                          "e.g. ring:4 rgg:100:0.2:7; default: small "
+                          "rings/paths/stars)")
+    cha.add_argument("--pairs", default="all",
+                     help="detector pair selection: all | neighbors | "
+                          "neighbors:<k> (neighbors = conflict-graph-local "
+                          "monitoring; see docs/topologies.md)")
+    cha.add_argument("--allow-disconnected", action="store_true",
+                     help="accept disconnected conflict graphs (components "
+                          "monitored independently)")
     cha.add_argument("--json", action="store_true",
                      help="emit a machine-readable campaign summary")
     rep = sub.add_parser("report",
@@ -560,6 +614,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                           "(default 3.0; bench hosts vary)")
     ben.add_argument("--json", action="store_true",
                      help="emit the bench payload as JSON")
+    ben.add_argument("--scaling", action="store_true",
+                     help="measure the events/sec-vs-n scaling curve on "
+                          "sparse families (pairs=neighbors) instead of the "
+                          "fixed microbenchmarks; writes BENCH_scaling.json "
+                          "(with --scaling, --workloads selects families "
+                          "and --out overrides the artifact path)")
+    ben.add_argument("--ns", nargs="*", type=int, default=None,
+                     metavar="N",
+                     help="system sizes for --scaling "
+                          "(default: 16 64 256 1000)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()

@@ -116,7 +116,9 @@ class DiningInstance(abc.ABC):
     def __init__(self, instance_id: str, graph: nx.Graph) -> None:
         if not instance_id:
             raise ConfigurationError("instance_id must be non-empty")
-        validate_conflict_graph(graph)
+        # Connectivity is a run-spec-level policy (see RunSpec.allow_
+        # disconnected); an instance itself works per component.
+        validate_conflict_graph(graph, allow_disconnected=True)
         self.instance_id = instance_id
         self.graph = graph
         self.adjacency = neighbors_map(graph)

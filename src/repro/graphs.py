@@ -102,18 +102,92 @@ def random_graph(n: int, p: float, rng: np.random.Generator,
     return g
 
 
+def random_geometric(n: int, radius: float, seed: int = 0,
+                     prefix: str = "p") -> nx.Graph:
+    """Seeded random geometric graph on the unit square (WSN deployments).
+
+    ``n`` sensors are dropped uniformly at random; two conflict when their
+    Euclidean distance is below ``radius``.  Node positions are stored as
+    ``x`` / ``y`` attributes.  Fully deterministic for a fixed
+    ``(n, radius, seed)`` triple.
+
+    Low radii commonly disconnect the graph — that is deliberate and left
+    to :func:`validate_conflict_graph` to accept or reject, so callers can
+    opt into independently-monitored components.
+    """
+    if radius <= 0.0:
+        raise ConfigurationError(f"rgg radius must be positive, got {radius}")
+    nodes = _named(n, prefix)
+    rng = np.random.default_rng(seed)
+    pos = rng.random((n, 2))
+    g = nx.Graph()
+    for i, node in enumerate(nodes):
+        g.add_node(node, x=float(pos[i, 0]), y=float(pos[i, 1]))
+    # Vectorized pairwise distances: O(n^2) floats once at build time.
+    diff = pos[:, None, :] - pos[None, :, :]
+    dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+    ii, jj = np.nonzero(dist2 < radius * radius)
+    g.add_edges_from((nodes[i], nodes[j])
+                     for i, j in zip(ii.tolist(), jj.tolist()) if i < j)
+    return g
+
+
+def cluster_tree(n: int, arity: int = 2, prefix: str = "p") -> nx.Graph:
+    """A rooted tree where node ``i``'s parent is ``(i-1) // arity``.
+
+    Models cluster-head hierarchies in sensor networks: conflicts only
+    between a node and its cluster head.  Always connected; ``n-1`` edges.
+    """
+    if arity < 1:
+        raise ConfigurationError(f"tree arity must be >= 1, got {arity}")
+    nodes = _named(n, prefix)
+    g = nx.Graph()
+    g.add_nodes_from(nodes)
+    g.add_edges_from((nodes[(i - 1) // arity], nodes[i])
+                     for i in range(1, n))
+    return g
+
+
 def neighbors_map(g: nx.Graph) -> dict[str, list[str]]:
     """Deterministically ordered adjacency map (stable across runs)."""
     return {v: sorted(g.neighbors(v)) for v in sorted(g.nodes)}
 
 
-def validate_conflict_graph(g: nx.Graph) -> None:
-    """Reject graphs a dining instance cannot use (self-loops, empty)."""
+def _component_summary(g: nx.Graph, limit: int = 4) -> str:
+    comps = sorted((sorted(c) for c in nx.connected_components(g)),
+                   key=lambda c: (-len(c), c))
+    parts = []
+    for c in comps[:limit]:
+        shown = ", ".join(c[:5]) + (", ..." if len(c) > 5 else "")
+        parts.append(f"[{shown}] ({len(c)} nodes)")
+    if len(comps) > limit:
+        parts.append(f"... and {len(comps) - limit} more")
+    return "; ".join(parts)
+
+
+def validate_conflict_graph(g: nx.Graph,
+                            allow_disconnected: bool = False) -> None:
+    """Reject graphs a dining instance cannot use.
+
+    Self-loops and empty graphs are always rejected.  A disconnected graph
+    is rejected by default — dining progress and detector extraction only
+    relate processes within a component, so a disconnected topology is
+    usually an accidental one (an RGG radius set too low, say).  Pass
+    ``allow_disconnected=True`` (the ``--allow-disconnected`` CLI flag) to
+    run anyway with each component monitored independently.
+    """
     if g.number_of_nodes() == 0:
         raise ConfigurationError("conflict graph has no diners")
     loops = list(nx.selfloop_edges(g))
     if loops:
         raise ConfigurationError(f"conflict graph has self-loops: {loops}")
+    if not allow_disconnected and not nx.is_connected(g):
+        n_comp = nx.number_connected_components(g)
+        raise ConfigurationError(
+            f"conflict graph is disconnected ({n_comp} components: "
+            f"{_component_summary(g)}). Increase the rgg radius / rand edge "
+            "probability, or pass --allow-disconnected to monitor each "
+            "component independently.")
 
 
 def edge_list(g: nx.Graph) -> list[tuple[str, str]]:

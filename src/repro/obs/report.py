@@ -46,6 +46,15 @@ _COST_COUNTERS = (
 #: Histograms merged bucket-wise across runs.
 _MERGED_HISTOGRAMS = ("dining.hungry_to_eating", "core.ping_rtt")
 
+#: Monitoring-cost counters (published at build time by the runtime
+#: builder): how many ordered (witness, subject) pairs the detectors
+#: monitor, and how many dining instances run — the numbers that make
+#: sparse (``pairs=neighbors``) vs full-square campaign cost visible.
+_MONITOR_COUNTERS = (
+    ("pairs_monitored", "monitor.pairs_monitored"),
+    ("dining_instances", "dining.instances"),
+)
+
 
 @dataclass
 class CampaignTelemetry:
@@ -60,6 +69,7 @@ class CampaignTelemetry:
     churn: list[int] = field(default_factory=list)
     merged: dict[str, HistogramSnapshot] = field(default_factory=dict)
     totals: dict[str, float] = field(default_factory=dict)
+    monitor_totals: dict[str, float] = field(default_factory=dict)
 
     # -- construction --------------------------------------------------------
 
@@ -97,6 +107,9 @@ class CampaignTelemetry:
         for label, counter in _COST_COUNTERS:
             self.totals[label] = (self.totals.get(label, 0.0)
                                   + snap.counter_value(counter))
+        for label, counter in _MONITOR_COUNTERS:
+            self.monitor_totals[label] = (self.monitor_totals.get(label, 0.0)
+                                          + snap.counter_value(counter))
 
     # -- statistics ----------------------------------------------------------
 
@@ -146,6 +159,8 @@ class CampaignTelemetry:
             "hungry_to_eating": self.histogram_stats("dining.hungry_to_eating"),
             "ping_rtt": self.histogram_stats("core.ping_rtt"),
             "messages": {k: int(v) for k, v in sorted(self.totals.items())},
+            "monitoring": {k: int(v)
+                           for k, v in sorted(self.monitor_totals.items())},
         }
 
     def merged_snapshot(self) -> MetricsSnapshot:
@@ -160,6 +175,9 @@ class CampaignTelemetry:
             },
             histograms=dict(self.merged),
         )
+        for label, counter in _MONITOR_COUNTERS:
+            if label in self.monitor_totals:
+                snap.counters[counter] = self.monitor_totals[label]
         stats = self.convergence_stats()
         for key in ("p50", "p95", "max"):
             if stats[key] is not None:
@@ -202,4 +220,6 @@ class CampaignTelemetry:
                      f"({st['count']})"])
         for k, v in sorted(self.totals.items()):
             t.add_row([f"messages {k}", int(v)])
+        for k, v in sorted(self.monitor_totals.items()):
+            t.add_row([k.replace("_", " "), int(v)])
         return t.render()

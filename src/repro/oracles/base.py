@@ -13,7 +13,7 @@ from the trace.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim.component import Component
@@ -89,15 +89,21 @@ def attach_detectors(
     engine: Engine,
     pids: Sequence[ProcessId],
     factory: Callable[[ProcessId, list[ProcessId]], OracleModule],
+    peers_of: Mapping[ProcessId, Sequence[ProcessId]] | None = None,
 ) -> dict[ProcessId, OracleModule]:
-    """Attach one detector module per process, each monitoring all the others.
+    """Attach one detector module per process.
 
-    ``factory(owner, peers)`` builds the module for ``owner``.  Processes
-    must already exist on the engine.  Returns ``owner -> module``.
+    ``factory(owner, peers)`` builds the module for ``owner``.  By default
+    every process monitors all the others; ``peers_of`` restricts each
+    owner to an explicit peer list (conflict-graph-local monitoring).
+    Processes must already exist on the engine.  Returns ``owner -> module``.
     """
     modules: dict[ProcessId, OracleModule] = {}
     for pid in pids:
-        peers = [q for q in pids if q != pid]
+        if peers_of is None:
+            peers = [q for q in pids if q != pid]
+        else:
+            peers = list(peers_of.get(pid, ()))
         module = factory(pid, peers)
         engine.process(pid).add_component(module)
         modules[pid] = module

@@ -102,21 +102,38 @@ class OracleReport:
         return "\n".join(lines)
 
 
+def _monitoring_pairs(
+    owners: Iterable[ProcessId],
+    targets: Iterable[ProcessId],
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None,
+) -> list[tuple[ProcessId, ProcessId]]:
+    """The (owner, target) relations a checker should examine.
+
+    ``pairs=None`` means the full cross product (all-to-all monitoring);
+    an explicit iterable restricts checking to the pairs actually
+    monitored — required under conflict-graph-local pair selection, where
+    an unmonitored pair has an empty suspicion series that would otherwise
+    read as a violation.
+    """
+    if pairs is None:
+        return [(o, t) for o in owners for t in targets if o != t]
+    return [(o, t) for o, t in pairs if o != t]
+
+
 def check_strong_completeness(
     trace: Trace,
     owners: Iterable[ProcessId],
     targets: Iterable[ProcessId],
     schedule: CrashSchedule,
     detector: str | None = None,
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None = None,
 ) -> OracleReport:
     """Every crashed target is eventually permanently suspected by every
-    correct owner (paper: Strong Completeness)."""
+    correct owner that monitors it (paper: Strong Completeness; ``pairs``
+    restricts the monitoring relation under local pair selection)."""
     report = OracleReport("strong completeness")
-    owners = [o for o in owners if not schedule.is_faulty(o)]
-    for owner in owners:
-        for target in targets:
-            if target == owner:
-                continue
+    for owner, target in _monitoring_pairs(owners, targets, pairs):
+        if not schedule.is_faulty(owner):
             ct = schedule.crash_time(target)
             if ct is None:
                 continue  # completeness constrains only crashed targets
@@ -138,14 +155,15 @@ def check_eventual_strong_accuracy(
     targets: Iterable[ProcessId],
     schedule: CrashSchedule,
     detector: str | None = None,
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None = None,
 ) -> OracleReport:
-    """Eventually no correct owner suspects any correct target
-    (paper: Eventual Strong Accuracy)."""
+    """Eventually no correct owner suspects any correct target it monitors
+    (paper: Eventual Strong Accuracy; ``pairs`` restricts the monitoring
+    relation under local pair selection)."""
     report = OracleReport("eventual strong accuracy")
-    owners = [o for o in owners if not schedule.is_faulty(o)]
-    for owner in owners:
-        for target in targets:
-            if target == owner or schedule.is_faulty(target):
+    for owner, target in _monitoring_pairs(owners, targets, pairs):
+        if not schedule.is_faulty(owner):
+            if schedule.is_faulty(target):
                 continue
             series = suspicion_series(trace, owner, target, detector)
             conv = convergence_time(series, lambda s: not s)

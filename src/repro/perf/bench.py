@@ -23,6 +23,11 @@ Workloads:
 ``dining_full``
     An end-to-end wf-ewx dining run with a crash, full trace retention,
     and convergence probes — the interactive / test-suite shape.
+``sparse_rgg``
+    A large-n (256 diners) random-geometric run under conflict-graph-local
+    pair selection (``pairs=neighbors``) and the ``counters`` sink — the
+    sparse-topology campaign shape; the full events/sec-vs-n curve lives
+    in :mod:`repro.perf.scaling` (``BENCH_scaling.json``).
 
 The JSON artifact (``benchmarks/results/BENCH_engine.json``) carries the
 current numbers plus the committed pre-optimization baseline and the
@@ -168,11 +173,32 @@ def _build_dining_full(i: int) -> Callable[[], int]:
     return run
 
 
+def _build_sparse_rgg(i: int) -> Callable[[], int]:
+    from repro.perf.scaling import rgg_spec
+    from repro.runtime.builder import instantiate
+    from repro.runtime.spec import RunSpec
+
+    # A large-n sparse point under conflict-graph-local monitoring — the
+    # shape big campaigns run in (see repro.perf.scaling for the full
+    # events/sec-vs-n curve).
+    spec = RunSpec(name="bench-sparse", graph=rgg_spec(256, seed=7 + i),
+                   seed=7 + i, max_time=60.0, pairs="neighbors",
+                   trace="counters", allow_disconnected=True)
+    built = instantiate(spec)
+
+    def run() -> int:
+        built.engine.run()
+        return built.engine.events_processed
+
+    return run
+
+
 WORKLOADS: dict[str, Callable[[int], Callable[[], int]]] = {
     "chaos_counters": _build_chaos_counters,
     "engine_steps": _build_engine_steps,
     "message_flood": _build_message_flood,
     "dining_full": _build_dining_full,
+    "sparse_rgg": _build_sparse_rgg,
 }
 
 

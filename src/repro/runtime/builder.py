@@ -25,6 +25,7 @@ from typing import Any, Mapping, Optional, Sequence
 
 import networkx as nx
 
+from repro.core.extraction import PairSelection
 from repro.dining.base import DiningInstance, SuspicionProvider
 from repro.dining.client import EagerClient, PeriodicClient
 from repro.dining.deferred import DeferredExclusionDining
@@ -35,6 +36,7 @@ from repro.dining.manager import ManagerDining
 from repro.dining.spec import check_exclusion, check_wait_freedom, state_series
 from repro.dining.wf_ewx import WaitFreeEWXDining
 from repro.errors import ConfigurationError, SimulationError
+from repro.graphs import validate_conflict_graph
 from repro.oracles import EventuallyPerfectDetector, attach_detectors
 from repro.oracles.base import OracleModule
 from repro.oracles.perfect import PerfectDetector
@@ -88,6 +90,7 @@ def build_system(
     trace_sink: str = "full",
     record_messages: bool = False,
     obs: bool = True,
+    peers_of: Mapping[ProcessId, Sequence[ProcessId]] | None = None,
 ) -> System:
     """Engine + per-process box-internal oracle (``"hb"`` heartbeat ◇P or
     ``"perfect"`` P substrate) + the suspicion provider dining boxes use.
@@ -98,7 +101,9 @@ def build_system(
     a :class:`~repro.sim.transport.RetransmitPolicy`) to restore reliable
     channels over it, so algorithms keep their Section 4 assumptions.
     ``trace_sink`` bounds trace memory (``full`` | ``ring:N`` |
-    ``counters`` — see :mod:`repro.sim.sinks`).
+    ``counters`` — see :mod:`repro.sim.sinks`).  ``peers_of`` restricts
+    each process's oracle module to an explicit peer list
+    (conflict-graph-local monitoring); default is all-to-all.
     """
     schedule = crash or CrashSchedule.none()
     engine = Engine(
@@ -121,12 +126,14 @@ def build_system(
             lambda o, peers: EventuallyPerfectDetector(
                 "boxfd", peers, heartbeat_period=heartbeat_period,
                 initial_timeout=initial_timeout),
+            peers_of=peers_of,
         )
     elif oracle == "perfect":
         modules = attach_detectors(
             engine, list(pids),
             lambda o, peers: PerfectDetector("boxfd", peers, schedule,
                                              latency=5.0),
+            peers_of=peers_of,
         )
     else:
         raise ConfigurationError(
@@ -245,6 +252,9 @@ class BuiltRun:
     system: System
     instance: DiningInstance
     diners: Mapping[ProcessId, Any] = field(default_factory=dict)
+    #: The ordered (owner, target) monitoring relation when the spec's
+    #: pair selection is local; ``None`` means all-to-all (``pairs=all``).
+    monitors: "list[tuple[ProcessId, ProcessId]] | None" = None
 
     @property
     def engine(self) -> Engine:
@@ -255,10 +265,19 @@ def instantiate(spec: RunSpec) -> BuiltRun:
     """Wire engine, oracle substrate, dining stack, and workload clients
     for ``spec`` — without running anything."""
     graph = parse_graph(spec.graph)
+    validate_conflict_graph(graph,
+                            allow_disconnected=spec.allow_disconnected)
     pids = sorted(graph.nodes)
     bad = set(spec.crashes) - set(pids)
     if bad:
         raise ConfigurationError(f"crashes name unknown processes: {bad}")
+    selection = PairSelection.parse(spec.pairs)
+    # pairs=all leaves the historical all-to-all construction untouched
+    # (golden traces pin it bit-for-bit); local selections restrict each
+    # oracle module to its conflict-graph peers.
+    peers_of = None if selection.is_all else selection.peers_map(pids, graph)
+    monitors = (None if selection.is_all
+                else [(p, q) for p in pids for q in peers_of[p]])
     fault_model = build_fault_model(spec, pids)
     use_transport: Any = (spec.transport if spec.transport is not None
                           else fault_model is not None)
@@ -271,14 +290,22 @@ def instantiate(spec: RunSpec) -> BuiltRun:
         delay_model=build_delay_model(spec), fault_model=fault_model,
         transport=use_transport, trace_sink=spec.trace,
         record_messages=spec.record_messages, obs=spec.obs,
+        peers_of=peers_of,
     )
     instance = build_dining(spec.algorithm, graph, system)
     diners = instance.attach(system.engine)
     for pid in pids:
         system.engine.process(pid).add_component(
             build_client(spec.client, pid, diners[pid], system.engine))
+    # Cost-visibility counters (repro report): how many ordered pairs the
+    # oracle actually monitors, and how many dining instances run.
+    n_pairs = (len(pids) * (len(pids) - 1) if monitors is None
+               else len(monitors))
+    registry = system.engine.registry
+    registry.counter("monitor.pairs_monitored").inc(n_pairs)
+    registry.counter("dining.instances").inc(1)
     return BuiltRun(spec=spec, graph=graph, system=system,
-                    instance=instance, diners=diners)
+                    instance=instance, diners=diners, monitors=monitors)
 
 
 def _violation_justified(trace, violation) -> bool:
@@ -356,10 +383,14 @@ def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
     result.exclusion = exclusion
     result.fairness = measure_fairness(eng.trace, built.graph, INSTANCE,
                                        eng.now, schedule)
+    # Under local pair selection only the monitored relation is checked —
+    # an unmonitored pair has no suspicion series and proves nothing.
     result.oracle_accuracy_ok = check_eventual_strong_accuracy(
-        eng.trace, pids, pids, schedule, detector="boxfd").ok
+        eng.trace, pids, pids, schedule, detector="boxfd",
+        pairs=built.monitors).ok
     result.oracle_completeness_ok = check_strong_completeness(
-        eng.trace, pids, pids, schedule, detector="boxfd").ok
+        eng.trace, pids, pids, schedule, detector="boxfd",
+        pairs=built.monitors).ok
     result.violations_justified = justify_violations(eng.trace,
                                                      exclusion.violations)
     return result

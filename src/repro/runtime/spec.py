@@ -27,28 +27,91 @@ from repro import graphs
 from repro.errors import ConfigurationError
 
 
+def _parse_grid(arg: str) -> nx.Graph:
+    rows, cols = arg.split("x")
+    return graphs.grid(int(rows), int(cols))
+
+
+def _parse_pair(arg: str) -> nx.Graph:
+    a, b = arg.split(",")
+    return graphs.pair_graph(a.strip(), b.strip())
+
+
+def _parse_rgg(arg: str) -> nx.Graph:
+    parts = arg.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError("expected n:radius[:seed]")
+    n, radius = int(parts[0]), float(parts[1])
+    seed = int(parts[2]) if len(parts) == 3 else 0
+    return graphs.random_geometric(n, radius, seed)
+
+
+def _parse_tree(arg: str) -> nx.Graph:
+    parts = arg.split(":")
+    if len(parts) not in (1, 2):
+        raise ValueError("expected n[:arity]")
+    n = int(parts[0])
+    arity = int(parts[1]) if len(parts) == 2 else 2
+    return graphs.cluster_tree(n, arity)
+
+
+def _parse_rand(arg: str) -> nx.Graph:
+    import numpy as np
+
+    parts = arg.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError("expected n:p[:seed]")
+    n, p = int(parts[0]), float(parts[1])
+    seed = int(parts[2]) if len(parts) == 3 else 0
+    return graphs.random_graph(n, p, np.random.default_rng(seed),
+                               connect=False)
+
+
+#: Graph-spec registry: kind -> (builder over the arg string, example spec).
+#: The examples double as the error-path documentation — every unknown-kind
+#: or malformed-arg message enumerates this table.
+GRAPH_KINDS: dict[str, tuple[Any, str]] = {
+    "ring": (lambda arg: graphs.ring(int(arg)), "ring:5"),
+    "clique": (lambda arg: graphs.clique(int(arg)), "clique:4"),
+    "path": (lambda arg: graphs.path(int(arg)), "path:6"),
+    "star": (lambda arg: graphs.star(int(arg)), "star:4"),
+    "grid": (_parse_grid, "grid:2x3"),
+    "pair": (_parse_pair, "pair:a,b"),
+    "rgg": (_parse_rgg, "rgg:100:0.18:7"),
+    "tree": (_parse_tree, "tree:50:3"),
+    "rand": (_parse_rand, "rand:40:0.1:1"),
+}
+
+
+def _graph_kind_help() -> str:
+    return ", ".join(f"{kind} (e.g. {example})"
+                     for kind, (_, example) in GRAPH_KINDS.items())
+
+
 def parse_graph(spec: str) -> nx.Graph:
-    """Parse a graph spec: ``ring:5``, ``clique:4``, ``path:6``,
-    ``star:4``, ``grid:2x3``, or ``pair:a,b``."""
+    """Parse a graph spec string into a conflict graph.
+
+    Supported kinds: ``ring:5``, ``clique:4``, ``path:6``, ``star:4``,
+    ``grid:2x3``, ``pair:a,b``, ``rgg:n:radius[:seed]`` (seeded random
+    geometric), ``tree:n[:arity]`` (cluster tree), and ``rand:n:p[:seed]``
+    (seeded Erdős–Rényi).  Seeds default to 0; tree arity defaults to 2.
+    """
     kind, _, arg = spec.partition(":")
     try:
-        if kind == "ring":
-            return graphs.ring(int(arg))
-        if kind == "clique":
-            return graphs.clique(int(arg))
-        if kind == "path":
-            return graphs.path(int(arg))
-        if kind == "star":
-            return graphs.star(int(arg))
-        if kind == "grid":
-            rows, cols = arg.split("x")
-            return graphs.grid(int(rows), int(cols))
-        if kind == "pair":
-            a, b = arg.split(",")
-            return graphs.pair_graph(a.strip(), b.strip())
+        builder, _ = GRAPH_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown graph kind {kind!r} in {spec!r}; supported kinds: "
+            f"{_graph_kind_help()}") from None
+    try:
+        return builder(arg)
+    except ConfigurationError:
+        raise
     except (ValueError, TypeError) as exc:
-        raise ConfigurationError(f"bad graph spec {spec!r}: {exc}") from exc
-    raise ConfigurationError(f"unknown graph kind {kind!r}")
+        _, example = GRAPH_KINDS[kind]
+        raise ConfigurationError(
+            f"bad graph spec {spec!r}: {exc} (expected e.g. {example!r}; "
+            f"supported kinds: {_graph_kind_help()})") from exc
 
 
 @dataclass
@@ -91,6 +154,18 @@ class RunSpec:
     #: the trace stream, metric snapshot on the result.  On by default; the
     #: probes are pure arithmetic and cost little.
     obs: bool = True
+    #: Pair-selection policy for detector monitoring (``all`` |
+    #: ``neighbors`` | ``neighbors:<k>``): which ordered (witness, subject)
+    #: pairs the oracle monitors and the property checkers verify.  ``all``
+    #: is the paper's full n·(n-1) square (bit-identical to historical
+    #: runs); ``neighbors`` restricts monitoring to conflict-graph edges,
+    #: making sparse n=100–1000 topologies tractable.  See
+    #: docs/topologies.md.
+    pairs: str = "all"
+    #: Accept a disconnected conflict graph (components are monitored
+    #: independently).  Off by default: a disconnected topology is usually
+    #: an accident (an RGG radius set too low).
+    allow_disconnected: bool = False
 
     def __post_init__(self) -> None:
         """Eager validation: a malformed spec fails at construction with a
@@ -116,6 +191,10 @@ class RunSpec:
         if self.oracle not in ("hb", "perfect"):
             raise ConfigurationError(
                 f"unknown oracle kind {self.oracle!r} (use hb | perfect)")
+        # Pair-selection grammar is owned by PairSelection.parse.
+        from repro.core.extraction import PairSelection
+
+        PairSelection.parse(self.pairs)
         # Delegate trace-sink spec syntax to the sink factory so the
         # accepted grammar is declared exactly once.
         from repro.sim.sinks import make_sink

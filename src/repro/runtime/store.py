@@ -50,7 +50,7 @@ STORE_SCHEMA = "repro.store.v1"
 #: Version salt mixed into every spec hash: bump when RunSpec semantics
 #: change incompatibly, so stale stores miss instead of serving results
 #: computed under different rules.
-SPEC_HASH_VERSION = "repro.spec.v1"
+SPEC_HASH_VERSION = "repro.spec.v2"  # v2: pairs + allow_disconnected knobs
 
 
 def canonical_spec(spec: RunSpec) -> dict[str, Any]:

@@ -26,6 +26,9 @@ Downstream users rarely want to wire engines by hand; a
         "slow": {"kind": "ping", "factor": 4.0, "until": 800.0},
         # optional trace sink (docs/runtime.md): full | ring:N | counters
         "trace": "full",
+        # optional pair selection (docs/topologies.md): all | neighbors |
+        # neighbors:<k> — conflict-graph-local detector monitoring
+        "pairs": "all",
     }).run()
 
 — and ``run()`` returns a :class:`ScenarioReport` bundling the

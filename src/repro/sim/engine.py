@@ -310,8 +310,15 @@ class Engine:
             transport.on_wire_deliver(msg)
             return
         # Direct path: the receiver is already resolved and live, so hand
-        # over inline (deliver_payload would repeat both lookups).
-        proc._inbox.append(msg)
+        # over inline (deliver_payload would repeat both lookups).  Inbox
+        # buckets are keyed by tag (see Process._inbox).
+        inbox = proc._inbox
+        bucket = inbox.get(msg.tag)
+        if bucket is None:
+            inbox[msg.tag] = [msg]
+        else:
+            bucket.append(msg)
+        proc._inbox_count += 1
         network._c_delivered.inc()
         if self.config.record_messages:
             self.trace.record(

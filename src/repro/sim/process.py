@@ -33,7 +33,14 @@ class Process:
         self._components: dict[str, Component] = {}
         self._actions: list[BoundAction] = []
         self._rotation = 0
-        self._inbox: list[Message] = []
+        # Buffered deliveries, bucketed by component tag.  Receive actions
+        # only ever match their own tag, so bucketing turns the per-probe
+        # inbox scan into a scan of just that component's backlog — O(1)
+        # for the common empty/miss case instead of O(total inbox).  Within
+        # a bucket, arrival order (= "earliest buffered") is preserved, so
+        # message selection is identical to the historical flat list.
+        self._inbox: dict[str, list[Message]] = {}
+        self._inbox_count = 0
         self._engine: "Engine | None" = None
         self.steps_taken = 0
 
@@ -92,7 +99,12 @@ class Process:
     def deliver(self, msg: Message) -> None:
         """Buffer a delivered message (dropped silently if crashed)."""
         if not self.crashed:
-            self._inbox.append(msg)
+            bucket = self._inbox.get(msg.tag)
+            if bucket is None:
+                self._inbox[msg.tag] = [msg]
+            else:
+                bucket.append(msg)
+            self._inbox_count += 1
 
     def crash(self, at: Time) -> None:
         """Cease execution permanently (crash fault)."""
@@ -100,7 +112,7 @@ class Process:
         self.crash_time = at
 
     def inbox_size(self) -> int:
-        return len(self._inbox)
+        return self._inbox_count
 
     def step(self) -> Optional[str]:
         """Execute one enabled action; return its qualified name (or None).
@@ -131,13 +143,14 @@ class Process:
                     continue
                 act.effect()
             else:
-                # receive action: earliest-buffered matching message
-                tag = act.tag
+                # receive action: earliest-buffered matching message from
+                # this component's own tag bucket
+                bucket = inbox.get(act.tag)
+                if not bucket:
+                    continue
                 want_kind = act.message_kind
                 hit = -1
-                for i, msg in enumerate(inbox):
-                    if msg.tag != tag:
-                        continue
+                for i, msg in enumerate(bucket):
                     if want_kind is not None and msg.kind != want_kind:
                         continue
                     if guard is not None and not guard(act.component, msg):
@@ -146,8 +159,9 @@ class Process:
                     break
                 if hit < 0:
                     continue
-                msg = inbox[hit]
-                del inbox[hit]
+                msg = bucket[hit]
+                del bucket[hit]
+                self._inbox_count -= 1
                 act.effect(msg)
             self._rotation = idx + 1 if idx + 1 < n else 0
             return act.qname
@@ -163,12 +177,14 @@ class Process:
             act.effect()
             return True
         # receive action: find the earliest-buffered matching message
-        for i, msg in enumerate(self._inbox):
+        bucket = self._inbox.get(act.component.name, ())
+        for i, msg in enumerate(bucket):
             if not msg.matches(act.component.name, act.message_kind):
                 continue
             if act.guard is not None and not act.guard(act.component, msg):
                 continue
-            del self._inbox[i]
+            del bucket[i]
+            self._inbox_count -= 1
             act.effect(msg)
             return True
         return False

@@ -1,8 +1,16 @@
-"""Tests for the full (all-ordered-pairs) extracted ◇P."""
+"""Tests for the full (all-ordered-pairs) extracted ◇P and the
+conflict-graph-local pair-selection policy."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.core.extraction import ExtractedDetector, build_full_extraction
+from repro import graphs
+from repro.core.extraction import (
+    ExtractedDetector,
+    PairSelection,
+    build_full_extraction,
+)
 from repro.errors import ConfigurationError
 from repro.experiments.common import build_system, wf_box
 from repro.oracles.properties import (
@@ -66,6 +74,80 @@ def test_full_system_completeness_one_crash():
     assert rep.ok, rep.format_table()
     for p in ("p0", "p1"):
         assert detectors[p].suspects() == {"p2"}
+
+
+class TestPairSelection:
+    @pytest.mark.parametrize("spec, policy, hops", [
+        ("all", "all", 1),
+        ("neighbors", "neighbors", 1),
+        ("neighbors:1", "neighbors", 1),
+        ("neighbors:3", "neighbors", 3),
+    ])
+    def test_parse(self, spec, policy, hops):
+        sel = PairSelection.parse(spec)
+        assert (sel.policy, sel.hops) == (policy, hops)
+        assert PairSelection.parse(sel.spec_string()) == sel
+
+    @pytest.mark.parametrize("spec, match", [
+        ("everyone", "unknown pair selection"),
+        ("all:2", "takes no argument"),
+        ("neighbors:zero", "must be an integer"),
+        ("neighbors:0", "must be >= 1"),
+        (7, "must be a string"),
+    ])
+    def test_parse_rejects(self, spec, match):
+        with pytest.raises(ConfigurationError, match=match):
+            PairSelection.parse(spec)
+
+    def test_all_preserves_historical_pair_order(self):
+        pids = ["p0", "p1", "p2"]
+        assert (PairSelection.parse("all").pairs_for(pids, None)
+                == [(p, q) for p in pids for q in pids if p != q])
+
+    def test_neighbors_requires_graph(self):
+        with pytest.raises(ConfigurationError, match="graph"):
+            PairSelection.parse("neighbors").pairs_for(["a", "b"], None)
+
+    def test_two_hops_on_a_path(self):
+        g = graphs.path(4)                       # p0 - p1 - p2 - p3
+        sel = PairSelection.parse("neighbors:2")
+        peers = sel.peers_map(sorted(g.nodes), g)
+        assert peers["p0"] == ["p1", "p2"]
+        assert peers["p1"] == ["p0", "p2", "p3"]
+
+    @given(n=st.integers(2, 12), p=st.floats(0.1, 0.9),
+           seed=st.integers(0, 50))
+    def test_neighbor_pairs_are_exactly_both_edge_orientations(self, n, p,
+                                                               seed):
+        import numpy as np
+        g = graphs.random_graph(n, p, np.random.default_rng(seed),
+                                connect=False)
+        pids = sorted(g.nodes)
+        pairs = PairSelection.parse("neighbors").pairs_for(pids, g)
+        expected = {(u, v) for u, v in g.edges} | {(v, u) for u, v in g.edges}
+        assert set(pairs) == expected
+        assert len(pairs) == len(expected)       # no duplicates
+        assert len(pairs) == 2 * g.number_of_edges()
+
+    def test_build_full_extraction_with_selection(self):
+        pids = ["p0", "p1", "p2", "p3"]
+        system = build_system(pids, seed=9, max_time=10.0)
+        g = graphs.path(4)
+        detectors, pairs = build_full_extraction(
+            system.engine, pids, wf_box(system),
+            selection="neighbors", graph=g)
+        assert len(pairs) == 2 * g.number_of_edges()
+        assert set(detectors["p0"].monitored) == {"p1"}
+        assert set(detectors["p1"].monitored) == {"p0", "p2"}
+
+    def test_build_full_extraction_rejects_monitors_plus_selection(self):
+        pids = ["a", "b"]
+        system = build_system(pids, seed=1, max_time=10.0)
+        with pytest.raises(ConfigurationError, match="not both"):
+            build_full_extraction(
+                system.engine, pids, wf_box(system),
+                monitors=[("a", "b")], selection="neighbors",
+                graph=graphs.pair_graph("a", "b"))
 
 
 def test_pairs_are_independent_of_each_other():

@@ -51,6 +51,25 @@ class TestBuildRun:
             assert sc.partition is None
             assert sc.crashes == {}
 
+    def test_pairs_and_graphs_thread_into_the_scenario(self):
+        cfg = ChaosConfig(graphs=("rgg:30:0.3:7",), pairs="neighbors",
+                          allow_disconnected=True, max_faulty=0)
+        sc = build_run(5, cfg)
+        assert sc.graph == "rgg:30:0.3:7"
+        assert sc.pairs == "neighbors"
+        assert sc.allow_disconnected is True
+
+    def test_cli_flags_round_trip_new_knobs(self):
+        cfg = ChaosConfig(graphs=("rgg:30:0.3:7", "tree:20:3"),
+                          pairs="neighbors:2", allow_disconnected=True)
+        flags = cfg.cli_flags()
+        assert "--graphs rgg:30:0.3:7 tree:20:3" in flags
+        assert "--pairs neighbors:2" in flags
+        assert "--allow-disconnected" in flags
+        # Defaults stay silent so replay commands stay short.
+        assert "--pairs" not in ChaosConfig().cli_flags()
+        assert "--graphs" not in ChaosConfig().cli_flags()
+
 
 class TestCampaign:
     def test_twenty_runs_all_invariants_hold(self):

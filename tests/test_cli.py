@@ -92,6 +92,43 @@ def test_chaos_normalized_flags(tmp_path, capsys):
     capsys.readouterr()
 
 
+def test_chaos_topology_flags(capsys):
+    """chaos: --graphs/--pairs/--allow-disconnected select the sparse path."""
+    rc = main(["chaos", "--campaigns", "2", "--seed", "3",
+               "--graphs", "rgg:16:0.4:7", "tree:12:2",
+               "--pairs", "neighbors", "--allow-disconnected",
+               "--max-faulty", "1", "--max-time", "400"])
+    assert rc == 0
+    assert "2/2 passed" in capsys.readouterr().out
+
+
+def test_chaos_bad_pairs_is_a_clean_cli_error(capsys):
+    rc = main(["chaos", "--campaigns", "1", "--pairs", "everyone"])
+    assert rc == 2
+    assert "pair selection" in capsys.readouterr().err
+
+
+def test_bench_scaling_writes_report(tmp_path, capsys):
+    """bench --scaling: tiny curve lands in --out as valid JSON."""
+    out = tmp_path / "scaling.json"
+    rc = main(["bench", "--scaling", "--ns", "8", "16",
+               "--workloads", "tree", "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.bench.scaling.v1"
+    points = payload["families"]["tree"]
+    assert [p["n"] for p in points] == [8, 16]
+    assert all(p["events_per_sec"] > 0 for p in points)
+    assert "events/sec" in capsys.readouterr().out
+
+
+def test_bench_scaling_unknown_family_is_a_clean_error(tmp_path, capsys):
+    rc = main(["bench", "--scaling", "--workloads", "hypercube",
+               "--out", str(tmp_path / "s.json")])
+    assert rc == 2
+    assert "hypercube" in capsys.readouterr().err
+
+
 def test_run_normalized_flags(tmp_path, capsys):
     """run: --metrics-out writes experiment records; --trace-sink warns."""
     metrics = tmp_path / "m.jsonl"

@@ -104,6 +104,84 @@ def test_edge_list_canonical():
     assert graphs.edge_list(g) == [("a", "b"), ("a", "c")]
 
 
+# -- seeded sparse families (rgg / tree) -------------------------------------
+
+
+def test_random_geometric_deterministic():
+    a = graphs.random_geometric(40, 0.25, seed=5)
+    b = graphs.random_geometric(40, 0.25, seed=5)
+    assert graphs.edge_list(a) == graphs.edge_list(b)
+    assert all(a.nodes[v] == b.nodes[v] for v in a.nodes)
+
+
+def test_random_geometric_seed_changes_edges():
+    a = graphs.random_geometric(40, 0.25, seed=1)
+    b = graphs.random_geometric(40, 0.25, seed=2)
+    assert graphs.edge_list(a) != graphs.edge_list(b)
+
+
+def test_random_geometric_edges_respect_radius():
+    g = graphs.random_geometric(30, 0.3, seed=3)
+    for u, v in g.edges:
+        dx = g.nodes[u]["x"] - g.nodes[v]["x"]
+        dy = g.nodes[u]["y"] - g.nodes[v]["y"]
+        assert dx * dx + dy * dy < 0.3 * 0.3
+    assert all(0.0 <= g.nodes[v]["x"] <= 1.0 for v in g.nodes)
+
+
+def test_random_geometric_rejects_bad_radius():
+    with pytest.raises(ConfigurationError):
+        graphs.random_geometric(5, 0.0)
+
+
+def test_cluster_tree_structure():
+    g = graphs.cluster_tree(10, arity=3)
+    assert nx.is_connected(g)
+    assert g.number_of_edges() == 9
+    assert g.degree["p0"] == 3                   # root has arity children
+
+
+def test_cluster_tree_rejects_bad_arity():
+    with pytest.raises(ConfigurationError):
+        graphs.cluster_tree(5, arity=0)
+
+
+@given(n=st.integers(1, 40), arity=st.integers(1, 5))
+def test_cluster_tree_connected_with_n_minus_1_edges(n, arity):
+    g = graphs.cluster_tree(n, arity=arity)
+    assert g.number_of_nodes() == n
+    assert g.number_of_edges() == n - 1
+    assert nx.is_connected(g)
+    # No node parents more than `arity` children (+1 edge to its own parent).
+    assert all(d <= arity + 1 for _, d in g.degree)
+
+
+# -- connectivity validation --------------------------------------------------
+
+
+def test_validate_rejects_disconnected_naming_components():
+    g = nx.Graph()
+    g.add_edge("a", "b")
+    g.add_edge("c", "d")
+    with pytest.raises(ConfigurationError) as err:
+        graphs.validate_conflict_graph(g)
+    msg = str(err.value)
+    assert "2 components" in msg
+    assert "a" in msg and "c" in msg
+    assert "--allow-disconnected" in msg
+
+
+def test_validate_allow_disconnected_escape_hatch():
+    g = nx.Graph()
+    g.add_edge("a", "b")
+    g.add_edge("c", "d")
+    graphs.validate_conflict_graph(g, allow_disconnected=True)  # no raise
+
+
+def test_validate_accepts_connected():
+    graphs.validate_conflict_graph(graphs.ring(4))
+
+
 @given(n=st.integers(3, 12))
 def test_ring_is_2_regular_cycle(n):
     g = graphs.ring(n)

@@ -25,13 +25,44 @@ class TestParseGraph:
         g = parse_graph("pair:alice, bob")
         assert set(g.nodes) == {"alice", "bob"}
 
-    def test_unknown_kind(self):
-        with pytest.raises(ConfigurationError):
-            parse_graph("torus:3")
+    def test_rgg_spec_deterministic(self):
+        a = parse_graph("rgg:30:0.3:7")
+        b = parse_graph("rgg:30:0.3:7")
+        assert sorted(a.edges) == sorted(b.edges)
+        assert a.number_of_nodes() == 30
 
-    def test_bad_arg(self):
-        with pytest.raises(ConfigurationError):
-            parse_graph("ring:banana")
+    def test_rgg_seed_defaults_to_zero(self):
+        assert (sorted(parse_graph("rgg:20:0.4").edges)
+                == sorted(parse_graph("rgg:20:0.4:0").edges))
+
+    def test_tree_spec(self):
+        g = parse_graph("tree:15:3")
+        assert g.number_of_nodes() == 15 and g.number_of_edges() == 14
+        assert parse_graph("tree:15").degree["p0"] == 2  # arity default 2
+
+    def test_rand_spec_deterministic(self):
+        a = parse_graph("rand:25:0.2:9")
+        assert sorted(a.edges) == sorted(parse_graph("rand:25:0.2:9").edges)
+        assert a.number_of_nodes() == 25
+
+    def test_unknown_kind_enumerates_supported(self):
+        with pytest.raises(ConfigurationError) as err:
+            parse_graph("torus:3")
+        msg = str(err.value)
+        for kind in ("ring", "clique", "grid", "rgg", "tree", "rand"):
+            assert kind in msg
+
+    @pytest.mark.parametrize("spec", [
+        "ring:banana",
+        "rgg:30",            # missing radius
+        "rgg:30:x:1",        # non-numeric radius
+        "tree:10:2:5",       # too many args
+        "rand:10",           # missing probability
+    ])
+    def test_bad_arg_names_example(self, spec):
+        with pytest.raises(ConfigurationError) as err:
+            parse_graph(spec)
+        assert "e.g." in str(err.value)
 
 
 class TestScenarioConstruction:
