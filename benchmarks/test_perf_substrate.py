@@ -119,7 +119,14 @@ def test_emit_bench_obs_json():
     Alongside the ops/sec harvested above, a pinned reference run
     (deterministic seed) contributes its key metric snapshot, so the
     artifact ties raw substrate speed to detector-quality numbers.
+
+    A ``workloads`` block carries the observability-overhead trio
+    (``dining_full`` / ``dining_obs_off`` / ``dining_spans``) in the
+    ``BENCH_engine.json`` baseline shape, so the committed file doubles
+    as the baseline for ``repro bench --check --baseline
+    benchmarks/results/BENCH_obs.json`` (the CI span-overhead gate).
     """
+    from repro.perf.bench import WORKLOADS
     from repro.runtime.builder import execute
     from repro.runtime.spec import RunSpec
 
@@ -129,9 +136,34 @@ def test_emit_bench_obs_json():
     result = execute(spec)
     wall = time.perf_counter() - t0
     obs = result.obs
+
+    # Interleaved best-of-N timing: sequential per-workload budgets are
+    # dominated by host noise at these run sizes (~12ms), while the
+    # round-robin minimum isolates the real per-workload floor, so the
+    # committed overhead percentages are stable run to run.
+    names = ("dining_full", "dining_obs_off", "dining_spans")
+    reps = 12
+    events = {n: WORKLOADS[n](0)() for n in names}  # warmup + event count
+    best = {n: float("inf") for n in names}
+    for _ in range(reps):
+        for n in names:
+            runner = WORKLOADS[n](0)
+            r0 = time.perf_counter()
+            runner()
+            best[n] = min(best[n], time.perf_counter() - r0)
+    eps = {n: events[n] / best[n] for n in names}
     payload = {
         "schema": "repro.bench.v1",
         "benchmarks": _BENCH_RECORDS,
+        "workloads": [{"name": n, "runs": reps, "events": events[n],
+                       "wall_seconds": round(best[n], 4),
+                       "events_per_sec": round(eps[n], 1)} for n in names],
+        "obs_overhead": {
+            "obs_pct": round(100.0 * (1.0 - eps["dining_full"]
+                                      / eps["dining_obs_off"]), 2),
+            "spans_pct": round(100.0 * (1.0 - eps["dining_spans"]
+                                        / eps["dining_full"]), 2),
+        },
         "reference_run": {
             "spec": {"graph": spec.graph, "seed": spec.seed,
                      "max_time": spec.max_time,

@@ -119,11 +119,18 @@ def render_ascii_timeline(
     t0: Time,
     t1: Time,
     width: int = 88,
+    glyphs: "Mapping[str, str] | None" = None,
 ) -> str:
     """Render interval tracks as fixed-width ASCII rows.
 
     ``█`` marks time bins in which the track's diner was eating; the ruler
     row marks the window bounds.
+
+    Intervals may carry an optional third element — a *kind* string —
+    which ``glyphs`` maps to a cell character (span-kind styling, e.g.
+    ``{"wrongful": "█", "justified": "▒"}``).  When several kinds cover
+    the same bin, the earliest entry in ``glyphs`` wins; intervals whose
+    kind has no glyph (or with no kind at all) fall back to ``█``.
     """
     if t1 <= t0:
         raise ValueError("empty window")
@@ -135,9 +142,17 @@ def render_ascii_timeline(
         for c in range(width):
             lo = t0 + span * c / width
             hi = t0 + span * (c + 1) / width
-            cells.append(
-                "█" if any(a < hi and b > lo for a, b in ivs) else "·"
-            )
+            covering = [iv for iv in ivs if iv[0] < hi and iv[1] > lo]
+            cell = "·"
+            if covering:
+                cell = "█"
+                if glyphs:
+                    for kind, glyph in glyphs.items():
+                        if any(len(iv) > 2 and iv[2] == kind
+                               for iv in covering):
+                            cell = glyph
+                            break
+            cells.append(cell)
         lines.append(f"{name:<{label_w}}|{''.join(cells)}|")
     ruler = f"{'':<{label_w}}|{t0:<{width - 10}.1f}{t1:>10.1f}|"
     return "\n".join(lines + [ruler])

@@ -4,6 +4,13 @@ Produces a publication-style version of the paper's Figure 1 (and any
 other interval tracks): one horizontal lane per track, a filled rect per
 eating session, a time axis, and an optional marker line (e.g. the
 convergence point).  Pure string assembly — no plotting libraries.
+
+Intervals may carry an optional third element — a *kind* string — which
+``kind_colors`` maps to a fill color (span-kind lane styling: wrongful
+vs. justified suspicion, hungry vs. eating).  A ``cdf`` step series adds
+a cumulative-fraction panel between the lanes and the axis (cross-seed
+convergence curves for ``repro timeline``).  Both extensions are opt-in:
+with neither, output is byte-identical to the original renderer.
 """
 
 from __future__ import annotations
@@ -14,7 +21,9 @@ from typing import Mapping, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.types import Time
 
-Interval = tuple[Time, Time]
+#: ``(start, end)`` or ``(start, end, kind)`` — the kind selects a fill
+#: from ``kind_colors`` when given, else the lane color applies.
+Interval = tuple
 
 _LANE_COLORS = ("#4878a8", "#a85448", "#6aa06a", "#9678b4",
                 "#ba9d49", "#5aa3b0")
@@ -35,16 +44,27 @@ def render_svg_timeline(
     title: str | None = None,
     marker: Optional[Time] = None,
     marker_label: str = "",
+    kind_colors: Optional[Mapping[str, str]] = None,
+    cdf: Optional[Sequence[tuple[Time, float]]] = None,
+    cdf_label: str = "",
+    cdf_height: int = 70,
 ) -> str:
-    """Render interval tracks as a standalone SVG document string."""
+    """Render interval tracks as a standalone SVG document string.
+
+    ``kind_colors`` maps the optional third interval element to a fill
+    color (span-kind styling); unstyled intervals keep the lane color.
+    ``cdf`` is a non-decreasing step series ``[(t, fraction), ...]``
+    drawn as a cumulative panel between the lanes and the time axis.
+    """
     if t1 <= t0:
         raise ConfigurationError("empty time window")
-    if not tracks:
+    if not tracks and cdf is None:
         raise ConfigurationError("no tracks to render")
     span = t1 - t0
     plot_w = width - label_width - 20
     top = 34 if title else 10
-    height = top + lane_height * len(tracks) + 30
+    cdf_extra = 0 if cdf is None else cdf_height + 16
+    height = top + lane_height * len(tracks) + cdf_extra + 30
 
     def x_of(t: Time) -> float:
         return label_width + plot_w * (t - t0) / span
@@ -71,18 +91,54 @@ def render_svg_timeline(
             f'x2="{label_width + plot_w}" y2="{y + lane_height / 2:.0f}" '
             f'stroke="#ddd"/>'
         )
-        for a, b in intervals:
+        for iv in intervals:
+            a, b = iv[0], iv[1]
+            fill = color
+            if kind_colors is not None and len(iv) > 2:
+                fill = kind_colors.get(iv[2], color)
             a, b = max(a, t0), min(b, t1)
             if b <= a:
                 continue
             parts.append(
                 f'<rect x="{x_of(a):.1f}" y="{y + 6}" '
                 f'width="{max(x_of(b) - x_of(a), 1.0):.1f}" '
-                f'height="{lane_height - 12}" fill="{color}" '
+                f'height="{lane_height - 12}" fill="{fill}" '
                 f'fill-opacity="0.85" rx="2"/>'
             )
+    if cdf is not None:
+        cdf_top = top + lane_height * len(tracks) + 8
+        cdf_bot = cdf_top + cdf_height
+
+        def y_of(frac: float) -> float:
+            return cdf_bot - cdf_height * min(max(frac, 0.0), 1.0)
+
+        parts.append(
+            f'<rect x="{label_width}" y="{cdf_top}" width="{plot_w}" '
+            f'height="{cdf_height}" fill="none" stroke="#ccc"/>'
+        )
+        if cdf_label:
+            parts.append(
+                f'<text x="{label_width - 8}" '
+                f'y="{cdf_top + cdf_height / 2 + 4:.0f}" '
+                f'text-anchor="end" font-size="10">{_esc(cdf_label)}</text>'
+            )
+        # Step polyline: horizontal to each point's time, then vertical
+        # to its cumulative fraction.
+        pts = [(label_width, y_of(0.0))]
+        frac = 0.0
+        for t, f in cdf:
+            x = x_of(min(max(t, t0), t1))
+            pts.append((x, y_of(frac)))
+            pts.append((x, y_of(f)))
+            frac = f
+        pts.append((label_width + plot_w, y_of(frac)))
+        points = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="#2a7a4b" '
+            f'stroke-width="1.5"/>'
+        )
     # Axis with 5 ticks.
-    axis_y = top + lane_height * len(tracks) + 8
+    axis_y = top + lane_height * len(tracks) + cdf_extra + 8
     parts.append(
         f'<line x1="{label_width}" y1="{axis_y}" '
         f'x2="{label_width + plot_w}" y2="{axis_y}" stroke="#333"/>'

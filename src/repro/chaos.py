@@ -86,6 +86,10 @@ class ChaosConfig:
     #: Accept disconnected conflict graphs (components monitored
     #: independently) — low-radius rgg draws commonly disconnect.
     allow_disconnected: bool = False
+    #: Span-level tracing (:mod:`repro.obs.spans`) on every run: suspicion
+    #: intervals, dining phases, crash points, convergence markers — the
+    #: ``--spans-out`` / ``repro timeline`` evidence.  Off by default.
+    spans: bool = False
 
     def __post_init__(self) -> None:
         for name in ("drop_max", "duplicate_max", "partition_prob",
@@ -123,6 +127,8 @@ class ChaosConfig:
             flags.append(f"--pairs {self.pairs}")
         if self.allow_disconnected:
             flags.append("--allow-disconnected")
+        if self.spans:
+            flags.append("--spans")
         return " ".join(flags)
 
 
@@ -187,6 +193,7 @@ def build_run(run_seed: int, cfg: ChaosConfig) -> Scenario:
         trace=cfg.trace,
         pairs=cfg.pairs,
         allow_disconnected=cfg.allow_disconnected,
+        spans=cfg.spans,
     )
 
 
@@ -244,6 +251,11 @@ class RunVerdict:
         the flat verdict summary."""
         return run_record(self.report, verdict=self.summary())
 
+    def span_records(self) -> list[dict[str, Any]]:
+        """This run's ``repro.span.v1`` records (empty when the campaign's
+        ``spans`` knob is off)."""
+        return self.report.span_records()
+
 
 def check_invariants(report: ScenarioReport, cfg: ChaosConfig) -> list[str]:
     """The per-run invariant battery; empty list = all good.
@@ -299,9 +311,14 @@ def _verdict_payload(verdict: RunVerdict) -> dict[str, Any]:
     """The store payload for one completed run: the flat verdict summary
     plus the full ``--metrics-out`` record — everything campaign
     aggregation reads, so a resumed campaign reproduces an uninterrupted
-    one byte for byte without re-simulating."""
-    return {"run_seed": verdict.run_seed, "verdict": verdict.summary(),
-            "record": verdict.run_record()}
+    one byte for byte without re-simulating.  Span records ride along
+    only when the campaign collects them (the ``spans`` knob), so
+    spans-off stores don't grow."""
+    payload = {"run_seed": verdict.run_seed, "verdict": verdict.summary(),
+               "record": verdict.run_record()}
+    if getattr(verdict.report, "spans", None) is not None:
+        payload["spans"] = verdict.span_records()
+    return payload
 
 
 class _StoredReport:
@@ -327,6 +344,7 @@ class StoredVerdict:
         self.scenario = scenario
         self._summary = dict(payload["verdict"])
         self._record = dict(payload["record"])
+        self._spans = list(payload.get("spans") or ())
         self.failures = list(self._summary.get("failures", ()))
         self.report = _StoredReport(
             trace_mode=str(self._summary.get("trace_mode", "full")))
@@ -343,6 +361,11 @@ class StoredVerdict:
 
     def run_record(self) -> dict[str, Any]:
         return dict(self._record)
+
+    def span_records(self) -> list[dict[str, Any]]:
+        """The stored ``repro.span.v1`` records, verbatim (empty for runs
+        stored by a spans-off campaign)."""
+        return [dict(r) for r in self._spans]
 
 
 @dataclass
@@ -363,6 +386,12 @@ class CampaignResult:
     def run_records(self) -> list[dict[str, Any]]:
         """The campaign's ``--metrics-out`` JSONL records, in run order."""
         return [v.run_record() for v in self.verdicts]
+
+    def span_records(self) -> list[dict[str, Any]]:
+        """The campaign's ``repro.span.v1`` records (``--spans-out``), in
+        run order — every run's spans concatenated, so the file is
+        byte-identical between serial, parallel, and resumed campaigns."""
+        return [rec for v in self.verdicts for rec in v.span_records()]
 
     def telemetry(self) -> CampaignTelemetry:
         """Cross-seed detector-quality aggregation (p50/p95/max
@@ -426,6 +455,7 @@ def run_campaign(cfg: ChaosConfig, workers: int = 1,
                  store: "ResultStore | None" = None,
                  resume: bool = False,
                  executor: "SupervisedExecutor | None" = None,
+                 on_result: "Any | None" = None,
                  ) -> CampaignResult:
     """Run the whole seeded campaign, fanned over ``workers`` processes.
 
@@ -444,13 +474,18 @@ def run_campaign(cfg: ChaosConfig, workers: int = 1,
 
     Pass an ``executor`` to control supervision knobs (per-task timeout,
     retry policy, self-chaos fault hook); by default one is built from
-    ``workers``.
+    ``workers``.  ``on_result(index, verdict, cached)`` fires once per
+    run as its verdict lands (store-served verdicts at load with
+    ``cached=True``, fresh ones in completion order) — the hook
+    :class:`~repro.runtime.progress.ProgressReporter` plugs into.
     """
     seeds = fanout_seeds(cfg.seed, cfg.campaigns)
     tasks = [(i, run_seed, cfg) for i, run_seed in enumerate(seeds)]
     executor = executor or SupervisedExecutor(workers=workers)
     if store is None and not resume:
-        verdicts = executor.map(_run_one_detached, tasks)
+        fresh = (None if on_result is None
+                 else lambda i, v: on_result(i, v, False))
+        verdicts = executor.map(_run_one_detached, tasks, on_result=fresh)
     else:
         verdicts = resumable_map(
             _run_one_detached, tasks,
@@ -459,6 +494,7 @@ def run_campaign(cfg: ChaosConfig, workers: int = 1,
             decode=lambda payload, i, task: StoredVerdict(
                 task[0], task[1], build_run(task[1], cfg), payload),
             store=store, resume=resume, executor=executor,
+            on_result=on_result,
         )
     return CampaignResult(cfg=cfg, verdicts=verdicts)
 

@@ -44,6 +44,16 @@ per-run results to a content-addressed JSONL store as they complete) and
 re-executing them); an interrupted campaign keeps its partial results and
 resumes to byte-identical output (docs/reliability.md).
 
+``scenario``/``sweep``/``chaos`` accept ``--spans-out PATH``: span-level
+tracing (per-pair suspicion intervals, dining phases, crash points,
+convergence markers) exported as ``repro.span.v1`` JSONL, which
+``repro timeline`` renders into suspicion Gantt charts and cross-seed
+convergence CDFs (ASCII on stdout, SVG with ``--svg-out``) —
+docs/observability.md.  ``sweep`` and ``chaos`` also accept
+``--progress`` (force the live stderr progress line even when stderr is
+not a TTY) and ``--progress-out PATH`` (append-only heartbeat JSONL, a
+liveness signal for long or resumed campaigns).
+
 ``repro bench`` runs the deterministic microbench harness
 (:mod:`repro.perf.bench`) and emits ``BENCH_engine.json``-shaped output;
 ``--check`` compares against the committed baseline and fails on a
@@ -105,7 +115,8 @@ def cmd_list() -> int:
 
 
 def cmd_scenario(path: str, metrics_out: str | None = None,
-                 trace_sink: str | None = None) -> int:
+                 trace_sink: str | None = None,
+                 spans_out: str | None = None) -> int:
     import dataclasses
 
     from repro.scenario import Scenario
@@ -113,6 +124,8 @@ def cmd_scenario(path: str, metrics_out: str | None = None,
     spec = Scenario.from_json(path)
     if trace_sink is not None:
         spec = dataclasses.replace(spec, trace=trace_sink)
+    if spans_out is not None:
+        spec = dataclasses.replace(spec, spans=True)
     report = spec.run()
     print(report.render())
     if metrics_out is not None:
@@ -120,6 +133,11 @@ def cmd_scenario(path: str, metrics_out: str | None = None,
 
         write_jsonl(metrics_out, [run_record(report)])
         print(f"metrics written to {metrics_out}")
+    if spans_out is not None:
+        from repro.obs import write_jsonl
+
+        n = write_jsonl(spans_out, report.span_records())
+        print(f"{n} span records written to {spans_out}")
     if not report.checked:
         # counters-sink run: metrics-only, no verdict to gate the exit on.
         return 0
@@ -143,10 +161,13 @@ def _sweep_one(task: tuple) -> dict:
             "last_violation": report.exclusion.last_violation_end,
             "worst_overtaking": float(report.fairness.worst_overall()),
         })
-    return {
+    row = {
         "stats": stats,
         "record": run_record(report.detach_trace()),
     }
+    if report.spans is not None:
+        row["spans"] = report.span_records()
+    return row
 
 
 def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
@@ -154,7 +175,9 @@ def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
               trace_sink: str | None = None,
               store: "object | None" = None,
               resume: bool = False,
-              task_timeout: float | None = None) -> int:
+              task_timeout: float | None = None,
+              spans_out: str | None = None,
+              progress: "object | None" = None) -> int:
     """Run one scenario across ``seeds`` and aggregate the verdicts."""
     import dataclasses
 
@@ -168,20 +191,31 @@ def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
     base = Scenario.from_json(path)
     if trace_sink is not None:
         base = dataclasses.replace(base, trace=trace_sink)
+    if spans_out is not None:
+        base = dataclasses.replace(base, spans=True)
     seeds = list(seeds)
     shards = [(base, seed) for seed in seeds]
-    if store is not None:
-        executor = SupervisedExecutor(workers=workers, timeout=task_timeout)
-        rows = resumable_map(
-            _sweep_one, shards,
-            keys=[spec_hash(dataclasses.replace(base, seed=int(seed)))
-                  for seed in seeds],
-            encode=lambda row: row,
-            decode=lambda payload, i, item: payload,
-            store=store, resume=resume, executor=executor)
-    else:
-        rows = ParallelExecutor(workers=workers,
-                                timeout=task_timeout).map(_sweep_one, shards)
+    if progress is not None:
+        progress.start()
+    try:
+        if store is not None:
+            executor = SupervisedExecutor(workers=workers,
+                                          timeout=task_timeout)
+            rows = resumable_map(
+                _sweep_one, shards,
+                keys=[spec_hash(dataclasses.replace(base, seed=int(seed)))
+                      for seed in seeds],
+                encode=lambda row: row,
+                decode=lambda payload, i, item: payload,
+                store=store, resume=resume, executor=executor,
+                on_result=(None if progress is None else progress.update))
+        else:
+            rows = ParallelExecutor(workers=workers, timeout=task_timeout).map(
+                _sweep_one, shards,
+                on_result=(None if progress is None else progress.update))
+    finally:
+        if progress is not None:
+            progress.finish()
     by_seed = dict(zip(seeds, (row["stats"] for row in rows)))
     stats = sweep_many(lambda seed: by_seed[seed], seeds)
     table = Table(["metric", "mean ± std [min, max] (n)"],
@@ -196,9 +230,26 @@ def cmd_sweep(path: str, seeds: Sequence[int], workers: int = 1,
     if metrics_out is not None:
         write_jsonl(metrics_out, records)
         print(f"metrics written to {metrics_out}")
+    if spans_out is not None:
+        span_recs = [rec for row in rows for rec in (row.get("spans") or ())]
+        n = write_jsonl(spans_out, span_recs)
+        print(f"{n} span records written to {spans_out}")
     if "wait_free" not in stats:
         return 0  # unchecked (counters-sink) sweep: metrics-only
     return 0 if stats["wait_free"].mean == 1.0 else 1
+
+
+def _progress_reporter(args, total: int, label: str):
+    """A :class:`~repro.runtime.progress.ProgressReporter` for a campaign,
+    or None when neither a TTY nor a progress flag asks for one."""
+    from repro.runtime import ProgressReporter
+
+    forced = bool(args.progress or args.progress_out)
+    if not forced and not sys.stderr.isatty():
+        return None
+    return ProgressReporter(total, label=label,
+                            heartbeat_path=args.progress_out,
+                            live=True if args.progress else None)
 
 
 def _chaos_config(args) -> "ChaosConfig":
@@ -220,6 +271,7 @@ def _chaos_config(args) -> "ChaosConfig":
         trace=args.trace_sink or "full",
         pairs=args.pairs,
         allow_disconnected=args.allow_disconnected,
+        spans=bool(args.spans or args.spans_out is not None),
         **kwargs,
     )
 
@@ -288,6 +340,12 @@ def cmd_chaos(args) -> int:
             from repro.obs import write_jsonl
 
             write_jsonl(args.metrics_out, [verdict.run_record()])
+        if args.spans_out is not None:
+            from repro.obs import write_jsonl
+
+            n = write_jsonl(args.spans_out, verdict.span_records())
+            if not args.json:
+                print(f"{n} span records written to {args.spans_out}")
         return 0 if verdict.ok else 1
 
     store, err = _open_store(args, "repro chaos")
@@ -295,11 +353,19 @@ def cmd_chaos(args) -> int:
         return err
     executor = SupervisedExecutor(workers=args.workers,
                                   timeout=args.task_timeout)
+    progress = _progress_reporter(args, cfg.campaigns, "chaos")
+    if progress is not None:
+        progress.start()
     try:
-        result = run_campaign(cfg, workers=args.workers, store=store,
-                              resume=args.resume, executor=executor)
+        result = run_campaign(
+            cfg, workers=args.workers, store=store,
+            resume=args.resume, executor=executor,
+            on_result=(None if progress is None else progress.update))
     except KeyboardInterrupt:
         return _report_interrupt(args, store, "repro chaos")
+    finally:
+        if progress is not None:
+            progress.finish()
     if args.json:
         print(json.dumps(result.to_json(), indent=2))
     else:
@@ -311,6 +377,12 @@ def cmd_chaos(args) -> int:
         n = write_jsonl(args.metrics_out, result.run_records())
         if not args.json:
             print(f"{n} run records written to {args.metrics_out}")
+    if args.spans_out is not None:
+        from repro.obs import write_jsonl
+
+        n = write_jsonl(args.spans_out, result.span_records())
+        if not args.json:
+            print(f"{n} span records written to {args.spans_out}")
     return 0 if result.ok else 1
 
 
@@ -337,6 +409,10 @@ def cmd_report(path: str, as_json: bool = False,
         print(f"repro report: no run records in {path}", file=sys.stderr)
         return 2
     tele = CampaignTelemetry.from_records(runs)
+    if tele.skipped_no_metrics:
+        print(f"repro report: warning: {tele.skipped_no_metrics} record(s) "
+              "without a usable metrics block skipped (obs-disabled runs?)",
+              file=sys.stderr)
     if as_json:
         print(json.dumps(tele.summary(), indent=2, sort_keys=True))
     else:
@@ -345,6 +421,37 @@ def cmd_report(path: str, as_json: bool = False,
         write_prometheus(prom_out, tele.merged_snapshot())
         if not as_json:
             print(f"prometheus textfile written to {prom_out}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """Render ``repro.span.v1`` files into suspicion Gantt charts and a
+    cross-seed convergence CDF (ASCII on stdout, SVG via ``--svg-out``)."""
+    from repro.errors import ConfigurationError
+    from repro.obs.timeline import (
+        load_span_records,
+        render_timeline_ascii,
+        render_timeline_svg,
+    )
+
+    err = _out_path_error(args.svg_out, "--svg-out")
+    if err is not None:
+        return _fail_usage("repro timeline", err)
+    try:
+        records = load_span_records(args.paths)
+        print(render_timeline_ascii(records, seed=args.seed,
+                                    width=args.width))
+        if args.svg_out is not None:
+            from repro.analysis.svg import save_svg
+
+            save_svg(render_timeline_svg(records, seed=args.seed,
+                                         width=args.svg_width),
+                     args.svg_out)
+            # stderr, so stdout stays the render alone (diffable in CI).
+            print(f"svg written to {args.svg_out}", file=sys.stderr)
+    except (OSError, ConfigurationError) as exc:
+        print(f"repro timeline: error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -521,6 +628,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "Exclusion'",
     )
     parents = _common_parents()
+    spansp = argparse.ArgumentParser(add_help=False)
+    spansp.add_argument("--spans-out", default=None, metavar="PATH",
+                        help="export span-level tracing (suspicion "
+                             "intervals, dining phases, crashes, "
+                             "convergence) as repro.span.v1 JSONL for "
+                             "'repro timeline' (implies span collection)")
+    progp = argparse.ArgumentParser(add_help=False)
+    progp.add_argument("--progress", action="store_true",
+                       help="force the live stderr progress line even when "
+                            "stderr is not a TTY")
+    progp.add_argument("--progress-out", default=None, metavar="PATH",
+                       help="append heartbeat JSONL snapshots per completed "
+                            "run (liveness signal for long/resumed "
+                            "campaigns)")
     storep = argparse.ArgumentParser(add_help=False)
     storep.add_argument("--store", default=None, metavar="PATH",
                         help="checkpoint per-run results to a "
@@ -535,10 +656,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                           help="run experiments by id ('all' for every one)")
     runp.add_argument("names", nargs="+",
                       help="experiment ids, e.g. e1 e4, or 'all'")
-    scen = sub.add_parser("scenario", parents=parents,
+    scen = sub.add_parser("scenario", parents=parents + [spansp],
                           help="run a declarative scenario from a JSON file")
     scen.add_argument("path", help="path to the scenario JSON")
-    swp = sub.add_parser("sweep", parents=parents + [storep],
+    swp = sub.add_parser("sweep", parents=parents + [storep, spansp, progp],
                          help="run a scenario across a seed fanout and "
                               "aggregate statistics")
     swp.add_argument("path", help="path to the scenario JSON")
@@ -546,9 +667,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="number of derived seeds (default 8)")
     swp.add_argument("--seed", type=int, default=0,
                      help="base seed the fanout derives from (default 0)")
-    cha = sub.add_parser("chaos", parents=parents + [storep],
+    cha = sub.add_parser("chaos", parents=parents + [storep, spansp, progp],
                          help="run a seeded randomized fault campaign and "
                               "check dining/oracle invariants per run")
+    cha.add_argument("--spans", action="store_true",
+                     help="collect span-level tracing even without "
+                          "--spans-out (kept in --store payloads and "
+                          "replay-run reports)")
     cha.add_argument("--campaigns", type=int, default=20,
                      help="number of randomized runs (default 20)")
     cha.add_argument("--seed", type=int, default=0,
@@ -583,6 +708,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                           "monitored independently)")
     cha.add_argument("--json", action="store_true",
                      help="emit a machine-readable campaign summary")
+    tl = sub.add_parser("timeline",
+                        help="render repro.span.v1 files (--spans-out) into "
+                             "per-pair suspicion Gantt charts and a "
+                             "cross-seed convergence CDF")
+    tl.add_argument("paths", nargs="+",
+                    help="span JSONL files (from --spans-out)")
+    tl.add_argument("--seed", type=int, default=None,
+                    help="run seed to render lanes for (default: the first "
+                         "run found; the CDF always covers every run)")
+    tl.add_argument("--width", type=int, default=88,
+                    help="ASCII lane width in columns (default 88)")
+    tl.add_argument("--svg-out", default=None, metavar="PATH",
+                    help="also write an SVG rendering to PATH")
+    tl.add_argument("--svg-width", type=int, default=900,
+                    help="SVG canvas width in px (default 900)")
     rep = sub.add_parser("report",
                          help="aggregate a --metrics-out JSONL file into "
                               "campaign telemetry (p50/p95/max convergence "
@@ -632,10 +772,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                           prom_out=args.prom_out)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "timeline":
+        return cmd_timeline(args)
 
     # Output-path flags fail in milliseconds, not after a long campaign.
     for flag, value in (("--metrics-out", args.metrics_out),
-                        ("--profile-out", args.profile_out)):
+                        ("--profile-out", args.profile_out),
+                        ("--spans-out", getattr(args, "spans_out", None)),
+                        ("--progress-out",
+                         getattr(args, "progress_out", None))):
         err = _out_path_error(value, flag)
         if err is not None:
             return _fail_usage(f"repro {args.command}", err)
@@ -648,7 +793,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print("note: --workers does not apply to a single scenario "
                       "run; ignored", file=sys.stderr)
             return cmd_scenario(args.path, metrics_out=args.metrics_out,
-                                trace_sink=args.trace_sink)
+                                trace_sink=args.trace_sink,
+                                spans_out=args.spans_out)
         if args.command == "sweep":
             from repro.runtime import fanout_seeds
 
@@ -662,7 +808,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                                  metrics_out=args.metrics_out,
                                  trace_sink=args.trace_sink,
                                  store=store, resume=args.resume,
-                                 task_timeout=args.task_timeout)
+                                 task_timeout=args.task_timeout,
+                                 spans_out=args.spans_out,
+                                 progress=_progress_reporter(
+                                     args, args.seeds, "sweep"))
             except KeyboardInterrupt:
                 return _report_interrupt(args, store, "repro sweep")
             _report_store(args, store, "repro sweep")

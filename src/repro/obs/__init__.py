@@ -9,7 +9,11 @@ See ``docs/observability.md`` for the full tour.  The public surface:
 * :func:`run_record` / :func:`write_jsonl` / :func:`prometheus_text` —
   stable on-disk forms (``repro.obs.exporters``);
 * :class:`CampaignTelemetry` — cross-seed aggregation behind
-  ``repro report`` (``repro.obs.report``).
+  ``repro report`` (``repro.obs.report``);
+* :class:`SpanProbe` / :func:`span_records` — typed span tracing
+  (suspicion intervals, dining phases, crash points, convergence
+  markers) with the ``repro.span.v1`` export behind ``--spans-out``
+  and ``repro timeline`` (``repro.obs.spans`` / ``repro.obs.timeline``).
 """
 
 from repro.obs.exporters import (
@@ -17,6 +21,7 @@ from repro.obs.exporters import (
     RUN_SCHEMA,
     dumps_record,
     experiment_record,
+    parse_prometheus_labels,
     prometheus_text,
     read_jsonl,
     record_snapshot,
@@ -33,9 +38,11 @@ from repro.obs.registry import (
     HistogramSnapshot,
     MetricsRegistry,
     MetricsSnapshot,
+    escape_label_value,
     percentile,
 )
 from repro.obs.report import CampaignTelemetry
+from repro.obs.spans import SPAN_SCHEMA, Span, SpanProbe, span_records
 
 __all__ = [
     "Counter",
@@ -50,12 +57,18 @@ __all__ = [
     "CampaignTelemetry",
     "RUN_SCHEMA",
     "EXPERIMENT_SCHEMA",
+    "SPAN_SCHEMA",
+    "Span",
+    "SpanProbe",
+    "span_records",
     "run_record",
     "experiment_record",
     "dumps_record",
     "write_jsonl",
     "read_jsonl",
     "record_snapshot",
+    "escape_label_value",
+    "parse_prometheus_labels",
     "prometheus_text",
     "write_prometheus",
 ]

@@ -99,13 +99,66 @@ def record_snapshot(record: Mapping[str, Any]) -> "MetricsSnapshot | None":
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _LABELLED_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+#: One ``key="value"`` pair; the value grammar admits any character via
+#: backslash escapes (the form :func:`~repro.obs.registry.escape_label_value`
+#: emits), so colon/quote/backslash-bearing values round-trip.
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape(value: str) -> str:
+    return _ESCAPE_RE.sub(
+        lambda m: "\n" if m.group(1) == "n" else m.group(1), value)
+
+
+def parse_prometheus_labels(labels: str) -> dict[str, str]:
+    """Parse a rendered ``{k="v",...}`` label block back into a dict,
+    undoing :func:`~repro.obs.registry.escape_label_value` — the
+    round-trip guarantee for label values like graph specs
+    (``rgg:200:0.12:7``) or quote/backslash-bearing run names.
+
+    Raises :class:`~repro.errors.ConfigurationError` on a malformed
+    block, so an invalid textfile line is caught at export time rather
+    than silently shipped to a scraper.
+    """
+    inner = labels
+    if inner.startswith("{"):
+        if not inner.endswith("}"):
+            raise ConfigurationError(
+                f"malformed Prometheus label block: {labels!r}")
+        inner = inner[1:-1]
+    out: dict[str, str] = {}
+    pos = 0
+    while pos < len(inner):
+        m = _LABEL_PAIR_RE.match(inner, pos)
+        if m is None:
+            raise ConfigurationError(
+                f"malformed Prometheus label block at offset {pos}: "
+                f"{labels!r}")
+        out[m.group("key")] = _unescape(m.group("value"))
+        pos = m.end()
+        if pos < len(inner):
+            if inner[pos] != ",":
+                raise ConfigurationError(
+                    f"malformed Prometheus label block at offset {pos}: "
+                    f"{labels!r}")
+            pos += 1
+    return out
 
 
 def _prom_name(name: str) -> tuple[str, str]:
-    """Split a registry name into a sanitized Prometheus name + label part."""
+    """Split a registry name into a sanitized Prometheus name + label part.
+
+    The label part is validated (parsed and re-checked) so a registry
+    name with a broken label block fails loudly here instead of
+    producing an unscrapable textfile.
+    """
     m = _LABELLED_RE.match(name)
     base, labels = (m.group("base"), "{" + m.group("labels") + "}") if m \
         else (name, "")
+    if labels:
+        parse_prometheus_labels(labels)
     return "repro_" + _NAME_RE.sub("_", base), labels
 
 

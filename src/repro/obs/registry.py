@@ -25,6 +25,7 @@ and parallel campaign execution.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
@@ -37,10 +38,31 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 )
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double quote, newline.
+
+    Label values come from user-facing strings — graph specs like
+    ``rgg:200:0.12:7``, file paths, arbitrary run names — so the rendered
+    ``{k="v"}`` form must stay unambiguous whatever the value contains.
+    Inverse: :func:`repro.obs.exporters.parse_prometheus_labels`.
+    """
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+_LABEL_KEY_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
 def _label_suffix(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    for k in labels:
+        if not _LABEL_KEY_RE.match(str(k)):
+            raise ConfigurationError(
+                f"invalid metric label name {k!r} (must match "
+                "[a-zA-Z_][a-zA-Z0-9_]*)")
+    inner = ",".join(f'{k}="{escape_label_value(labels[k])}"'
+                     for k in sorted(labels))
     return "{" + inner + "}"
 
 

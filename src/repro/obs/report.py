@@ -63,6 +63,11 @@ class CampaignTelemetry:
     runs: int = 0
     with_metrics: int = 0
     ok_runs: int = 0
+    #: Records skipped because they carry no usable metric snapshot
+    #: (``metrics: null`` from obs-disabled runs, or a malformed block):
+    #: they still count in ``runs``/``ok_runs``, but contribute nothing
+    #: to the statistics — ``repro report`` warns with this count.
+    skipped_no_metrics: int = 0
     #: Per-run ◇P convergence times; None = that run never converged.
     convergence_times: list[Optional[float]] = field(default_factory=list)
     wrongful: list[int] = field(default_factory=list)
@@ -90,8 +95,15 @@ class CampaignTelemetry:
         summary = record.get("summary") or {}
         if summary.get("ok") or record.get("ok"):
             self.ok_runs += 1
-        snap = record_snapshot(record)
+        # A record without a snapshot (obs-disabled run: metrics is null)
+        # or with an unreadable one must not fail the whole campaign
+        # aggregation — skip it, count it, keep going.
+        try:
+            snap = record_snapshot(record)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            snap = None
         if snap is None:
+            self.skipped_no_metrics += 1
             return
         self.with_metrics += 1
         self.convergence_times.append(snap.gauge_value("oracle.converged_at"))
@@ -147,6 +159,7 @@ class CampaignTelemetry:
             "runs": self.runs,
             "ok": self.ok_runs,
             "with_metrics": self.with_metrics,
+            "skipped_no_metrics": self.skipped_no_metrics,
             "convergence_time": self.convergence_stats(),
             "wrongful_suspicions": {
                 "total": sum(self.wrongful),

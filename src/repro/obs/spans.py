@@ -1,0 +1,256 @@
+"""Span-level run tracing: typed intervals materialized from the trace stream.
+
+Scalar metrics (:mod:`repro.obs.probes`) answer *how much*; spans answer
+*when*.  The paper's refutation is interval-shaped — the flawed
+extraction wrongfully suspects infinitely often while the corrected ◇P
+construction's mistakes are finite — so the interesting evidence is the
+interval structure itself: when each pair's suspicion opened and closed,
+when each dining instance was hungry vs. eating, and where convergence
+landed.  :class:`SpanProbe` materializes exactly that.
+
+Span kinds
+----------
+
+``suspicion``
+    One maximal interval during which ``pid`` suspected ``target``
+    (per ``detector``).  Tagged ``wrongful`` when the target had not
+    crashed at onset — the oracle's "mistakes" in the paper's sense.
+    A target crash *splits* an open wrongful interval: the wrongful
+    span closes at the crash and a justified (``wrongful=False``) span
+    opens from it, mirroring the accounting in
+    :class:`~repro.obs.probes.RunProbes`.
+``phase``
+    One dining phase interval (``thinking`` / ``hungry`` / ``eating``)
+    of ``pid`` in dining ``instance``, from ``"state"`` trace rows.
+``crash``
+    A zero-length span marking a process crash.
+``convergence``
+    A zero-length run-global span (``pid="*"``) at the end of the last
+    wrongful-suspicion interval — present only when the run converged
+    (no wrongful suspicion still open at the horizon).
+
+Truncation semantics
+--------------------
+
+A span still open when the run ends is closed at the horizon with
+``truncated=True``: its ``end`` is the horizon, not an observed close.
+A run that never converged therefore exports truncated wrongful
+suspicion spans and *no* ``convergence`` span.
+
+Like :class:`~repro.obs.probes.RunProbes`, the probe subscribes to the
+trace *record stream* (:meth:`repro.sim.trace.Trace.subscribe`) ahead of
+sink retention, so spans are exact under ``ring:N`` and ``counters``
+sinks and — being pure arithmetic over the deterministic event stream —
+bit-identical between serial and parallel campaign execution.
+
+The stable on-disk form is the ``repro.span.v1`` JSONL record
+(:func:`span_records` + :func:`repro.obs.exporters.write_jsonl`); see
+docs/observability.md for the schema and ``repro timeline`` for the
+renderer that consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.trace import TraceRecord
+    from repro.types import ProcessId, Time
+
+#: Schema tag stamped on every span JSONL record.
+SPAN_SCHEMA = "repro.span.v1"
+
+#: Deterministic ordering of span kinds at equal (start, end).
+_KIND_ORDER = {"suspicion": 0, "phase": 1, "crash": 2, "convergence": 3}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One typed interval of a run.  Plain data: pickles and JSONs."""
+
+    kind: str
+    start: float
+    end: float
+    pid: str
+    #: Suspicion spans only: suspected process / detector name / whether
+    #: the onset was a mistake (target still live at onset).
+    target: Optional[str] = None
+    detector: Optional[str] = None
+    wrongful: Optional[bool] = None
+    #: Phase spans only: dining instance and phase name.
+    instance: Optional[str] = None
+    phase: Optional[str] = None
+    #: True when the span was still open at the end of the run and was
+    #: closed at the horizon rather than by an observed transition.
+    truncated: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """Every field, fixed key set — the ``span`` block of the JSONL
+        record (absent facts are explicit ``None``s, so consumers never
+        need key-existence checks)."""
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "pid": self.pid,
+            "target": self.target,
+            "detector": self.detector,
+            "wrongful": self.wrongful,
+            "instance": self.instance,
+            "phase": self.phase,
+            "truncated": self.truncated,
+        }
+
+
+#: Field order of the internal row tuples (matches :meth:`Span.to_dict`).
+#: The probe accumulates plain tuples on the hot path — constructing a
+#: frozen dataclass per trace record is measurable at campaign rates —
+#: and converts to dicts once, at :meth:`SpanProbe.finalize`.
+_KEYS = ("kind", "start", "end", "pid", "target", "detector", "wrongful",
+         "instance", "phase", "truncated")
+
+
+def _sort_key(row: tuple) -> tuple:
+    # (start, end, kind order, pid, target, detector, instance, phase)
+    return (row[1], row[2], _KIND_ORDER.get(row[0], 9), str(row[3]),
+            str(row[4] or ""), str(row[5] or ""),
+            str(row[7] or ""), str(row[8] or ""))
+
+
+class SpanProbe:
+    """Materialize typed spans from the trace record stream.
+
+    Subscribe :meth:`on_record` to the engine trace (the builder does
+    this when ``RunSpec.spans`` is on); call :meth:`finalize` once after
+    the run to close still-open spans at the horizon and obtain the
+    deterministic span list (plain dicts, sorted by start time).
+    """
+
+    #: Record kinds :meth:`on_record` dispatches on — the subscription
+    #: filter, so unrelated kinds can still be elided by the lazy trace
+    #: fast path under non-retaining sinks.
+    KINDS = frozenset({"suspect", "state", "crash"})
+
+    def __init__(self) -> None:
+        self._spans: list[tuple] = []  # rows in _KEYS order
+        self._crashed: dict["ProcessId", "Time"] = {}
+        #: (owner, target, detector) -> (start, wrongful) of the open
+        #: suspicion interval.
+        self._susp_open: dict[tuple, tuple[float, bool]] = {}
+        #: (pid, instance) -> (start, phase) of the open dining phase.
+        self._phase_open: dict[tuple, tuple[float, str]] = {}
+        self._converged_at: float = 0.0
+        self._finalized: Optional[list[dict[str, Any]]] = None
+
+    # -- the stream hook -----------------------------------------------------
+
+    def on_record(self, rec: "TraceRecord") -> None:
+        kind = rec.kind
+        if kind == "suspect":
+            self._on_suspect(rec)
+        elif kind == "state":
+            self._on_state(rec)
+        elif kind == "crash":
+            self._on_crash(rec.pid, rec.time)
+
+    def _on_suspect(self, rec: "TraceRecord") -> None:
+        data = rec.data
+        key = (rec.pid, data.get("target"), data.get("detector"))
+        if data.get("suspected"):
+            if key not in self._susp_open:
+                # Wrongful exactly when the target has not crashed yet at
+                # onset (matching RunProbes / false_positive_count).
+                self._susp_open[key] = (rec.time, key[1] not in self._crashed)
+        else:
+            self._close_suspicion(key, rec.time)
+
+    def _close_suspicion(self, key: tuple, t: float,
+                         truncated: bool = False) -> None:
+        opened = self._susp_open.pop(key, None)
+        if opened is None:
+            return
+        start, wrongful = opened
+        if wrongful and not truncated:
+            self._converged_at = max(self._converged_at, float(t))
+        self._spans.append(("suspicion", start, float(t), key[0],
+                            key[1], key[2], wrongful, None, None, truncated))
+
+    def _on_crash(self, pid: "ProcessId", t: "Time") -> None:
+        self._crashed[pid] = t
+        self._spans.append(("crash", float(t), float(t), pid,
+                            None, None, None, None, None, False))
+        # A crash ends every suspicion interval it is part of: suspecting
+        # the now-crashed target becomes rightful (the wrongful span ends
+        # and a justified continuation opens), and a crashed owner's
+        # frozen output stops producing intervals.
+        for key in [k for k in self._susp_open if k[0] == pid or k[1] == pid]:
+            self._close_suspicion(key, t)
+            if key[1] == pid and key[0] not in self._crashed:
+                self._susp_open[key] = (float(t), False)
+        for pkey in [k for k in self._phase_open if k[0] == pid]:
+            start, phase = self._phase_open.pop(pkey)
+            self._spans.append(("phase", start, float(t), pid,
+                                None, None, None, pkey[1], phase, False))
+
+    def _on_state(self, rec: "TraceRecord") -> None:
+        data = rec.data
+        key = (rec.pid, data.get("instance"))
+        opened = self._phase_open.pop(key, None)
+        if opened is not None:
+            self._spans.append(("phase", opened[0], rec.time, rec.pid,
+                                None, None, None, key[1], opened[1], False))
+        state = data.get("state")
+        if state is not None:
+            self._phase_open[key] = (rec.time, str(state))
+
+    # -- end of run ----------------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        """No wrongful suspicion currently open."""
+        return not any(w for _, w in self._susp_open.values())
+
+    def convergence_time(self) -> Optional[float]:
+        """End of the last wrongful-suspicion interval (0.0 when the
+        oracle was never wrong); None while a wrongful suspicion is open."""
+        return self._converged_at if self.converged else None
+
+    def finalize(self, end_time: "Time") -> list[dict[str, Any]]:
+        """Close still-open spans at the horizon (``truncated=True``) and
+        return the run's spans as plain dicts, sorted by start time.
+        Idempotent: later calls return the same list."""
+        if self._finalized is not None:
+            return self._finalized
+        converged = self.converged
+        for key in list(self._susp_open):
+            self._close_suspicion(key, end_time, truncated=True)
+        for pkey, (start, phase) in sorted(self._phase_open.items(),
+                                           key=lambda kv: str(kv[0])):
+            self._spans.append(("phase", start, float(end_time), pkey[0],
+                                None, None, None, pkey[1], phase, True))
+        self._phase_open.clear()
+        if converged:
+            self._spans.append(("convergence", self._converged_at,
+                                self._converged_at, "*",
+                                None, None, None, None, None, False))
+        self._spans.sort(key=_sort_key)
+        self._finalized = [dict(zip(_KEYS, row)) for row in self._spans]
+        return self._finalized
+
+
+def span_records(name: str, seed: int, end_time: float,
+                 spans: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """The ``repro.span.v1`` JSONL records for one run's spans.
+
+    Each record carries the run context (name, seed, horizon) so a file
+    can hold many runs (a whole campaign) and still be sliced per run by
+    the timeline renderer.  Serialize with
+    :func:`repro.obs.exporters.dumps_record` /
+    :func:`~repro.obs.exporters.write_jsonl` — records are emitted in
+    run order with sorted keys, so campaign span files are byte-identical
+    between ``--workers N`` and serial execution.
+    """
+    run = {"name": name, "seed": int(seed), "end_time": float(end_time)}
+    return [{"schema": SPAN_SCHEMA, "run": dict(run), "span": dict(span)}
+            for span in spans]

@@ -1,0 +1,247 @@
+"""Aggregate ``repro.span.v1`` files into Gantt charts and convergence curves.
+
+The consumers of :mod:`repro.obs.spans` exports: load one or more span
+JSONL files (single runs or whole campaigns), slice out one run's spans
+for a per-pair suspicion Gantt chart (wrongful vs. justified styling,
+dining-phase lanes, crash ticks, convergence marker), and fold *all*
+runs into a cross-seed convergence CDF.  Rendering goes through the
+dependency-free :func:`repro.analysis.svg.render_svg_timeline` and
+:func:`repro.analysis.sessions.render_ascii_timeline`; both outputs are
+pure functions of the record list, so for a given spec+seed they are
+byte-identical regardless of ``--workers`` or resume history.
+
+``repro timeline`` (the CLI front end) prints the ASCII form and writes
+the SVG with ``--svg-out``; see docs/observability.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import read_jsonl
+from repro.obs.spans import SPAN_SCHEMA
+
+#: Span-kind fills for the SVG Gantt lanes.
+KIND_COLORS = {
+    "wrongful": "#c0392b",   # oracle mistakes: the paper's refutation lives here
+    "justified": "#95a5a6",  # suspicion of an actually-crashed process
+    "hungry": "#e0a030",
+    "eating": "#4878a8",
+}
+
+#: Span-kind glyphs for the ASCII Gantt (order = precedence per bin).
+ASCII_GLYPHS = {
+    "wrongful": "█",
+    "justified": "▒",
+    "eating": "▓",
+    "hungry": "░",
+}
+
+#: Eighth-block ramp for the ASCII CDF row.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+# -- loading and slicing ------------------------------------------------------
+
+
+def load_span_records(paths: Iterable[Any]) -> list[dict[str, Any]]:
+    """All ``repro.span.v1`` records across ``paths``, in file order.
+    Records with other schemas (e.g. a mixed metrics file) are skipped."""
+    records: list[dict[str, Any]] = []
+    for path in paths:
+        records.extend(rec for rec in read_jsonl(path)
+                       if rec.get("schema") == SPAN_SCHEMA)
+    return records
+
+
+def runs_in(records: Sequence[Mapping[str, Any]]) -> list[tuple[str, int]]:
+    """Distinct ``(name, seed)`` runs, in first-appearance order."""
+    seen: list[tuple[str, int]] = []
+    for rec in records:
+        run = rec.get("run") or {}
+        key = (run.get("name"), run.get("seed"))
+        if key not in seen:
+            seen.append(key)
+    return seen
+
+
+def select_run(records: Sequence[Mapping[str, Any]],
+               seed: Optional[int] = None) -> tuple[str, int]:
+    """The run the Gantt chart should show: the ``--seed`` match, or the
+    first run in the file when no seed is given."""
+    runs = runs_in(records)
+    if not runs:
+        raise ConfigurationError(
+            f"no {SPAN_SCHEMA} records found — export spans with "
+            "--spans-out on repro scenario/sweep/chaos")
+    if seed is None:
+        return runs[0]
+    for run in runs:
+        if run[1] == seed:
+            return run
+    raise ConfigurationError(
+        f"no run with seed {seed}; available seeds: "
+        f"{sorted(r[1] for r in runs)}")
+
+
+def run_spans(records: Sequence[Mapping[str, Any]], name: str,
+              seed: int) -> tuple[list[dict[str, Any]], float]:
+    """One run's span dicts (record order) plus its horizon."""
+    spans: list[dict[str, Any]] = []
+    end_time = 0.0
+    for rec in records:
+        run = rec.get("run") or {}
+        if run.get("name") == name and run.get("seed") == seed:
+            spans.append(dict(rec.get("span") or {}))
+            end_time = max(end_time, float(run.get("end_time") or 0.0))
+    return spans, end_time
+
+
+# -- track extraction ---------------------------------------------------------
+
+
+def suspicion_tracks(
+        spans: Sequence[Mapping[str, Any]]) -> dict[str, list[tuple]]:
+    """Per-pair lanes ``"p→q"`` of ``(start, end, wrongful|justified)``."""
+    tracks: dict[str, list[tuple]] = {}
+    for s in spans:
+        if s.get("kind") != "suspicion":
+            continue
+        label = f"{s['pid']}→{s['target']}"
+        style = "wrongful" if s.get("wrongful") else "justified"
+        tracks.setdefault(label, []).append(
+            (float(s["start"]), float(s["end"]), style))
+    return {k: sorted(v) for k, v in sorted(tracks.items())}
+
+
+def phase_tracks(spans: Sequence[Mapping[str, Any]],
+                 include: Sequence[str] = ("hungry", "eating"),
+                 ) -> dict[str, list[tuple]]:
+    """Per-process dining lanes of ``(start, end, phase)``.  Thinking is
+    omitted by default — it is the unmarked background of a lane."""
+    tracks: dict[str, list[tuple]] = {}
+    for s in spans:
+        if s.get("kind") != "phase" or s.get("phase") not in include:
+            continue
+        label = f"{s['pid']} dining"
+        tracks.setdefault(label, []).append(
+            (float(s["start"]), float(s["end"]), str(s["phase"])))
+    return {k: sorted(v) for k, v in sorted(tracks.items())}
+
+
+def crash_times(spans: Sequence[Mapping[str, Any]]) -> dict[str, float]:
+    return {str(s["pid"]): float(s["start"]) for s in spans
+            if s.get("kind") == "crash"}
+
+
+def convergence_marker(
+        spans: Sequence[Mapping[str, Any]]) -> Optional[float]:
+    """The run's convergence point, or None when it never converged."""
+    for s in spans:
+        if s.get("kind") == "convergence":
+            return float(s["start"])
+    return None
+
+
+def convergence_curve(
+    records: Sequence[Mapping[str, Any]],
+) -> tuple[list[tuple[float, float]], int, int]:
+    """Cross-seed convergence CDF over every run in ``records``.
+
+    Returns ``(points, converged, total)`` where ``points`` is the step
+    series ``[(t, fraction of all runs converged by t), ...]``.  Runs
+    without a convergence span count in the denominator but never in the
+    curve, so an unconverged campaign visibly plateaus below 1.0.
+    """
+    per_run: dict[tuple[str, int], Optional[float]] = {}
+    for rec in records:
+        run = rec.get("run") or {}
+        key = (run.get("name"), run.get("seed"))
+        per_run.setdefault(key, None)
+        span = rec.get("span") or {}
+        if span.get("kind") == "convergence":
+            per_run[key] = float(span["start"])
+    total = len(per_run)
+    times = sorted(t for t in per_run.values() if t is not None)
+    points = [(t, (i + 1) / total) for i, t in enumerate(times)]
+    return points, len(times), total
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _window(spans: Sequence[Mapping[str, Any]], end_time: float) -> float:
+    t1 = max([end_time] + [float(s.get("end") or 0.0) for s in spans])
+    if t1 <= 0.0:
+        raise ConfigurationError("span records cover an empty time window")
+    return t1
+
+
+def render_timeline_svg(records: Sequence[Mapping[str, Any]],
+                        seed: Optional[int] = None,
+                        width: int = 900) -> str:
+    """The full SVG timeline: one run's suspicion/dining Gantt lanes plus
+    the cross-seed convergence CDF of every run in ``records``."""
+    from repro.analysis.svg import render_svg_timeline
+
+    name, seed = select_run(records, seed)
+    spans, end_time = run_spans(records, name, seed)
+    t1 = _window(spans, end_time)
+    tracks = {**suspicion_tracks(spans), **phase_tracks(spans)}
+    points, converged, total = convergence_curve(records)
+    return render_svg_timeline(
+        tracks, 0.0, t1, width=width,
+        title=f"{name} seed {seed} — suspicion & dining spans",
+        marker=convergence_marker(spans), marker_label="converged",
+        kind_colors=KIND_COLORS,
+        cdf=points,
+        cdf_label=f"convergence CDF ({converged}/{total})",
+    )
+
+
+def _ascii_cdf_row(points: Sequence[tuple[float, float]], t1: float,
+                   width: int) -> str:
+    cells = []
+    for c in range(width):
+        hi = t1 * (c + 1) / width
+        frac = 0.0
+        for t, f in points:
+            if t <= hi:
+                frac = f
+            else:
+                break
+        cells.append(_BLOCKS[min(int(frac * (len(_BLOCKS) - 1) + 1e-9),
+                                 len(_BLOCKS) - 1)])
+    return "".join(cells)
+
+
+def render_timeline_ascii(records: Sequence[Mapping[str, Any]],
+                          seed: Optional[int] = None,
+                          width: int = 88) -> str:
+    """The terminal timeline: header, styled Gantt lanes, crash ticks,
+    cross-seed CDF row, and a one-line legend."""
+    from repro.analysis.sessions import render_ascii_timeline
+
+    name, seed = select_run(records, seed)
+    spans, end_time = run_spans(records, name, seed)
+    t1 = _window(spans, end_time)
+    tracks = {**suspicion_tracks(spans), **phase_tracks(spans)}
+    lines = [f"timeline: {name} seed {seed} (t in [0, {t1:g}])"]
+    if tracks:
+        lines.append(render_ascii_timeline(tracks, 0.0, t1, width=width,
+                                           glyphs=ASCII_GLYPHS))
+        lines.append("legend: █ wrongful  ▒ justified  ▓ eating  ░ hungry")
+    else:
+        lines.append("(no suspicion or dining spans in this run)")
+    crashes = crash_times(spans)
+    if crashes:
+        lines.append("crashes: " + ", ".join(
+            f"{pid}@{t:g}" for pid, t in sorted(crashes.items())))
+    marker = convergence_marker(spans)
+    lines.append("converged at " + (f"{marker:g}" if marker is not None
+                                    else "— (never)"))
+    points, converged, total = convergence_curve(records)
+    lines.append(f"cross-seed convergence CDF ({converged}/{total} runs):")
+    lines.append(f"CDF |{_ascii_cdf_row(points, t1, width)}|")
+    return "\n".join(lines)

@@ -28,6 +28,14 @@ Workloads:
     pair selection (``pairs=neighbors``) and the ``counters`` sink — the
     sparse-topology campaign shape; the full events/sec-vs-n curve lives
     in :mod:`repro.perf.scaling` (``BENCH_scaling.json``).
+``dining_obs_off`` / ``dining_spans``
+    The observability-overhead pair around ``dining_full``: the same run
+    with the metrics registry and probes disabled (``obs=False``), and
+    with span tracing added on top (``spans=True``).  Comparing the three
+    bounds what metrics and span collection cost; the committed
+    ``BENCH_obs.json`` carries their baseline events/sec so CI can gate
+    the span-probe overhead (``repro bench --check --baseline
+    benchmarks/results/BENCH_obs.json``).
 
 The JSON artifact (``benchmarks/results/BENCH_engine.json``) carries the
 current numbers plus the committed pre-optimization baseline and the
@@ -173,6 +181,36 @@ def _build_dining_full(i: int) -> Callable[[], int]:
     return run
 
 
+def _build_dining_obs_off(i: int) -> Callable[[], int]:
+    from repro.runtime.builder import instantiate
+    from repro.runtime.spec import RunSpec
+
+    spec = RunSpec(name="bench-dining", graph="ring:4", seed=42 + i,
+                   max_time=500.0, crashes={"p1": 180.0}, obs=False)
+    built = instantiate(spec)
+
+    def run() -> int:
+        built.engine.run()
+        return built.engine.events_processed
+
+    return run
+
+
+def _build_dining_spans(i: int) -> Callable[[], int]:
+    from repro.runtime.builder import instantiate
+    from repro.runtime.spec import RunSpec
+
+    spec = RunSpec(name="bench-dining", graph="ring:4", seed=42 + i,
+                   max_time=500.0, crashes={"p1": 180.0}, spans=True)
+    built = instantiate(spec)
+
+    def run() -> int:
+        built.engine.run()
+        return built.engine.events_processed
+
+    return run
+
+
 def _build_sparse_rgg(i: int) -> Callable[[], int]:
     from repro.perf.scaling import rgg_spec
     from repro.runtime.builder import instantiate
@@ -198,6 +236,8 @@ WORKLOADS: dict[str, Callable[[int], Callable[[], int]]] = {
     "engine_steps": _build_engine_steps,
     "message_flood": _build_message_flood,
     "dining_full": _build_dining_full,
+    "dining_obs_off": _build_dining_obs_off,
+    "dining_spans": _build_dining_spans,
     "sparse_rgg": _build_sparse_rgg,
 }
 

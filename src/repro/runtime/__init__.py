@@ -24,7 +24,10 @@ wired, executed, and judged:
   :func:`~repro.runtime.store.spec_hash` — content-addressed result
   caching and campaign checkpoint/resume (``--store`` / ``--resume``);
 * :func:`~repro.runtime.seeds.fanout_seeds` — stable campaign seed
-  derivation.
+  derivation;
+* :class:`~repro.runtime.progress.ProgressReporter` — live stderr
+  progress line + append-only heartbeat JSONL for long campaigns
+  (``--progress`` / ``--progress-out``).
 
 See docs/runtime.md for the architecture walkthrough and
 docs/reliability.md for the supervision / checkpoint-resume layer.
@@ -47,6 +50,11 @@ from repro.runtime.executor import (
     SupervisedExecutor,
     mp_context,
 )
+from repro.runtime.progress import (
+    PROGRESS_SCHEMA,
+    ProgressReporter,
+    progress_sample,
+)
 from repro.runtime.result import RunResult
 from repro.runtime.seeds import fanout_seeds
 from repro.runtime.spec import RunSpec, parse_graph
@@ -55,7 +63,9 @@ from repro.runtime.store import ResultStore, resumable_map, spec_hash
 __all__ = [
     "INSTANCE",
     "BuiltRun",
+    "PROGRESS_SCHEMA",
     "ParallelExecutor",
+    "ProgressReporter",
     "ResultStore",
     "RetryPolicy",
     "RunResult",
@@ -71,6 +81,7 @@ __all__ = [
     "justify_violations",
     "mp_context",
     "parse_graph",
+    "progress_sample",
     "resumable_map",
     "spec_hash",
 ]

@@ -90,6 +90,7 @@ def build_system(
     trace_sink: str = "full",
     record_messages: bool = False,
     obs: bool = True,
+    spans: bool = False,
     peers_of: Mapping[ProcessId, Sequence[ProcessId]] | None = None,
 ) -> System:
     """Engine + per-process box-internal oracle (``"hb"`` heartbeat ◇P or
@@ -108,7 +109,7 @@ def build_system(
     schedule = crash or CrashSchedule.none()
     engine = Engine(
         SimConfig(seed=seed, max_time=max_time, trace_sink=trace_sink,
-                  record_messages=record_messages, obs=obs),
+                  record_messages=record_messages, obs=obs, spans=spans),
         delay_model=delay_model or PartialSynchronyDelays(
             gst=gst, delta=delta, pre_gst_max=pre_gst_max),
         crash_schedule=schedule,
@@ -290,7 +291,7 @@ def instantiate(spec: RunSpec) -> BuiltRun:
         delay_model=build_delay_model(spec), fault_model=fault_model,
         transport=use_transport, trace_sink=spec.trace,
         record_messages=spec.record_messages, obs=spec.obs,
-        peers_of=peers_of,
+        spans=spec.spans, peers_of=peers_of,
     )
     instance = build_dining(spec.algorithm, graph, system)
     diners = instance.attach(system.engine)
@@ -370,6 +371,8 @@ def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
         trace_evicted=eng.trace.evicted,
         trace=eng.trace,
         spec_key=spec_hash(spec),
+        spans=(None if eng.span_probe is None
+               else eng.span_probe.finalize(eng.now)),
     )
     if not check:
         return result

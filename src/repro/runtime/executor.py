@@ -560,12 +560,24 @@ class ParallelExecutor:
         kwargs.update(overrides)
         return SupervisedExecutor(**kwargs)
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """``[fn(x) for x in items]``, fanned out when ``workers > 1``."""
+    def map(self, fn: Callable[[T], R], items: Iterable[T],
+            on_result: Optional[Callable[[int, R], None]] = None) -> list[R]:
+        """``[fn(x) for x in items]``, fanned out when ``workers > 1``.
+
+        ``on_result(index, value)`` fires once per task as it lands — in
+        item order serially, completion order under a pool (same contract
+        as :meth:`SupervisedExecutor.map`).
+        """
         tasks = list(items)
         if self.workers <= 1 or len(tasks) <= 1:
-            return [fn(x) for x in tasks]
-        return self.supervised().map(fn, tasks)
+            out = []
+            for i, x in enumerate(tasks):
+                value = fn(x)
+                if on_result is not None:
+                    on_result(i, value)
+                out.append(value)
+            return out
+        return self.supervised().map(fn, tasks, on_result=on_result)
 
     def run_specs(self, specs: Sequence[RunSpec]) -> list[RunResult]:
         """Execute each spec; order and content match the serial path.

@@ -74,6 +74,13 @@ class RunResult:
     #: :func:`~repro.runtime.builder.execute`; kept out of :meth:`summary`
     #: so run records stay comparable across store/no-store campaigns.
     spec_key: Optional[str] = None
+    #: Typed spans (:mod:`repro.obs.spans`) when the spec's ``spans`` knob
+    #: was on: per-pair suspicion intervals, dining phases, crash points,
+    #: convergence marker — plain dicts, so they pickle across the worker
+    #: pool and survive :meth:`detach_trace`.  Kept out of :meth:`summary`
+    #: (the determinism-comparison surface) — export them with
+    #: :meth:`span_records` / ``--spans-out`` instead.
+    spans: Optional[list] = None
 
     @property
     def checked(self) -> bool:
@@ -87,6 +94,15 @@ class RunResult:
     def eventually_exclusive_by(self, t: float) -> bool:
         """◇WX convergence test: did all exclusion violations end by ``t``?"""
         return self.exclusion.eventually_exclusive_by(t)
+
+    def span_records(self) -> list[dict[str, Any]]:
+        """This run's ``repro.span.v1`` JSONL records (empty when the
+        spec's ``spans`` knob was off)."""
+        from repro.obs.spans import span_records
+
+        if self.spans is None:
+            return []
+        return span_records(self.name, self.seed, self.end_time, self.spans)
 
     def detach_trace(self) -> "RunResult":
         """Drop the trace handle (cheap to pickle across process pools)."""

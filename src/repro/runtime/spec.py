@@ -154,6 +154,13 @@ class RunSpec:
     #: the trace stream, metric snapshot on the result.  On by default; the
     #: probes are pure arithmetic and cost little.
     obs: bool = True
+    #: Span-level tracing (:mod:`repro.obs.spans`): materialize per-pair
+    #: suspicion intervals, dining phases, crash points, and the
+    #: convergence marker as typed spans on the result
+    #: (``RunResult.spans``, ``repro.span.v1`` export).  Off by default —
+    #: spans keep one tuple per interval for the whole run; see
+    #: docs/observability.md.
+    spans: bool = False
     #: Pair-selection policy for detector monitoring (``all`` |
     #: ``neighbors`` | ``neighbors:<k>``): which ordered (witness, subject)
     #: pairs the oracle monitors and the property checkers verify.  ``all``

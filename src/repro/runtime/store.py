@@ -50,7 +50,7 @@ STORE_SCHEMA = "repro.store.v1"
 #: Version salt mixed into every spec hash: bump when RunSpec semantics
 #: change incompatibly, so stale stores miss instead of serving results
 #: computed under different rules.
-SPEC_HASH_VERSION = "repro.spec.v2"  # v2: pairs + allow_disconnected knobs
+SPEC_HASH_VERSION = "repro.spec.v3"  # v3: spans knob
 
 
 def canonical_spec(spec: RunSpec) -> dict[str, Any]:
@@ -167,6 +167,7 @@ def resumable_map(
     store: Optional[ResultStore] = None,
     resume: bool = False,
     executor: Optional[SupervisedExecutor] = None,
+    on_result: Optional[Callable[[int, R, bool], None]] = None,
 ) -> list[R]:
     """``[fn(x) for x in items]`` with content-addressed checkpointing.
 
@@ -177,6 +178,10 @@ def resumable_map(
     loses at most the tasks still in flight.  Results come back in item
     order either way — and, because every task is a pure function of its
     item, a resumed map returns exactly what an uninterrupted one would.
+
+    ``on_result(index, value, cached)`` fires once per item as it lands:
+    at load for cache hits (``cached=True``), in completion order for
+    fresh results — the hook live progress reporting plugs into.
     """
     if len(keys) != len(items):
         raise ConfigurationError(
@@ -189,6 +194,8 @@ def resumable_map(
         payload = store.get(key) if (resume and store is not None) else None
         if payload is not None:
             results[i] = decode(payload, i, items[i])
+            if on_result is not None:
+                on_result(i, results[i], True)
         else:
             todo.append(i)
 
@@ -197,6 +204,8 @@ def resumable_map(
         results[index] = value
         if store is not None:
             store.put(keys[index], dict(encode(value)))
+        if on_result is not None:
+            on_result(index, value, False)
 
     executor = executor or SupervisedExecutor(workers=1)
     executor.map(fn, [items[i] for i in todo], on_result=checkpoint)

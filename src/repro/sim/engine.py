@@ -32,6 +32,7 @@ from typing import Callable, Mapping, Optional
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs.probes import RunProbes
 from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+from repro.obs.spans import SpanProbe
 from repro.sim.clock import Clock
 from repro.sim.faults import CrashSchedule
 from repro.sim.link_faults import LinkFaultModel
@@ -74,6 +75,12 @@ class SimConfig:
     #: transport counters live in it); this knob only controls the
     #: detector-quality probes.
     obs: bool = True
+    #: Materialize typed spans (:mod:`repro.obs.spans`) from the trace
+    #: stream: per-pair suspicion intervals, dining phases, crash points,
+    #: the convergence marker.  Off by default — spans retain one tuple
+    #: per interval for the whole run, where the scalar probes keep O(1)
+    #: state.
+    spans: bool = False
 
 
 class Engine:
@@ -99,6 +106,11 @@ class Engine:
             self.probes = RunProbes(self.registry)
             self.trace.subscribe(self.probes.on_record,
                                  kinds=RunProbes.KINDS)
+        self.span_probe: Optional[SpanProbe] = None
+        if self.config.spans:
+            self.span_probe = SpanProbe()
+            self.trace.subscribe(self.span_probe.on_record,
+                                 kinds=SpanProbe.KINDS)
         self.network = Network(delay_model or AsynchronousDelays(),
                                fault_model=fault_model)
         self.network.bind(self)

@@ -75,3 +75,63 @@ def test_axis_has_six_tick_labels():
     root = parse(svg)
     labels = [t.text for t in root.findall(f"{SVG_NS}text")]
     assert sum(1 for x in labels if x and x.isdigit()) == 6
+
+
+def test_zero_length_interval_skipped():
+    svg = render_svg_timeline({"a": [(3.0, 3.0)]}, 0.0, 10.0)
+    root = parse(svg)
+    assert len(root.findall(f"{SVG_NS}rect")) == 1   # background only
+
+
+def test_marker_beyond_window_omitted():
+    svg = render_svg_timeline({"a": [(1.0, 2.0)]}, 0.0, 10.0,
+                              marker=50.0, marker_label="late")
+    assert "late" not in svg
+    assert "stroke-dasharray" not in svg
+
+
+def test_byte_identical_across_renders():
+    tracks = {"a": [(1.0, 2.0), (4.0, 5.5)], "b": [(0.5, 9.0)]}
+    one = render_svg_timeline(tracks, 0.0, 10.0, title="t", marker=5.0)
+    two = render_svg_timeline(dict(tracks), 0.0, 10.0, title="t", marker=5.0)
+    assert one == two
+
+
+def test_kind_colors_style_styled_intervals():
+    svg = render_svg_timeline(
+        {"a": [(1.0, 2.0, "wrongful"), (3.0, 4.0)]}, 0.0, 10.0,
+        kind_colors={"wrongful": "#c0392b"})
+    root = parse(svg)
+    fills = [r.get("fill") for r in root.findall(f"{SVG_NS}rect")]
+    assert "#c0392b" in fills
+    # the unstyled interval keeps the default palette colour
+    assert len([f for f in fills if f == "#c0392b"]) == 1
+
+
+def test_unknown_kind_falls_back_to_track_color():
+    plain = render_svg_timeline({"a": [(1.0, 2.0)]}, 0.0, 10.0)
+    styled = render_svg_timeline({"a": [(1.0, 2.0, "mystery")]}, 0.0, 10.0,
+                                 kind_colors={"wrongful": "#c0392b"})
+    assert plain == styled
+
+
+def test_cdf_panel_renders_steps():
+    svg = render_svg_timeline({"a": [(1.0, 2.0)]}, 0.0, 10.0,
+                              cdf=[(2.0, 0.5), (6.0, 1.0)],
+                              cdf_label="convergence CDF")
+    assert "polyline" in svg
+    assert "convergence CDF" in svg
+
+
+def test_cdf_alone_without_tracks_allowed():
+    svg = render_svg_timeline({}, 0.0, 10.0, cdf=[(5.0, 1.0)])
+    parse(svg)
+    assert "polyline" in svg
+
+
+def test_default_render_unchanged_by_new_parameters():
+    # Opt-in extensions must not perturb the legacy default output.
+    base = render_svg_timeline({"a": [(1.0, 2.0)]}, 0.0, 10.0)
+    explicit = render_svg_timeline({"a": [(1.0, 2.0)]}, 0.0, 10.0,
+                                   kind_colors=None, cdf=None)
+    assert base == explicit

@@ -104,3 +104,64 @@ class TestPrometheus:
         content = path.read_text()
         assert "repro_net_messages_sent" in content
         assert "repro_oracle_converged_at" in content
+
+
+class TestLabelRoundTrip:
+    """Label values must survive render → parse, escaping included."""
+
+    AWKWARD = ["rgg:200:0.12:7", 'quo"ted', "back\\slash", "new\nline",
+               'both\\"', ""]
+
+    def test_graph_spec_label_round_trips(self):
+        from repro.obs.exporters import parse_prometheus_labels
+
+        reg = MetricsRegistry()
+        reg.counter("campaign.runs", graph="rgg:200:0.12:7").inc()
+        (name, _metric), = list(reg)
+        base, _, labels = name.partition("{")
+        assert parse_prometheus_labels("{" + labels) == {
+            "graph": "rgg:200:0.12:7"}
+
+    @pytest.mark.parametrize("value", AWKWARD)
+    def test_awkward_values_round_trip(self, value):
+        from repro.obs.exporters import parse_prometheus_labels
+        from repro.obs.registry import escape_label_value
+
+        rendered = '{v="' + escape_label_value(value) + '"}'
+        assert parse_prometheus_labels(rendered) == {"v": value}
+
+    def test_rendered_textfile_lines_parse_back(self):
+        from repro.obs.exporters import _LABELLED_RE, parse_prometheus_labels
+
+        reg = MetricsRegistry()
+        for i, value in enumerate(self.AWKWARD):
+            reg.counter(f"m{i}.count", spec=value).inc()
+        text = prometheus_text(reg.snapshot())
+        seen = []
+        for line in text.splitlines():
+            if line.startswith("#") or "{" not in line:
+                continue
+            labels = "{" + line.split("{", 1)[1].rsplit("}", 1)[0] + "}"
+            seen.append(parse_prometheus_labels(labels)["spec"])
+        assert sorted(seen, key=str) == sorted(self.AWKWARD, key=str)
+
+    def test_multiple_labels_sorted_and_parsed(self):
+        from repro.obs.exporters import parse_prometheus_labels
+        from repro.obs.registry import _label_suffix
+
+        suffix = _label_suffix({"b": "2", "a": "x:y"})
+        assert suffix.index('a="') < suffix.index('b="')
+        assert parse_prometheus_labels(suffix) == {"a": "x:y", "b": "2"}
+
+    def test_malformed_blocks_rejected(self):
+        from repro.obs.exporters import parse_prometheus_labels
+
+        for bad in ['{v="unterminated}', '{v=unquoted}', '{v="a" v2="b"}',
+                    '{9bad="x"}', '{v="a"', '{,v="lead"}']:
+            with pytest.raises(ConfigurationError):
+                parse_prometheus_labels(bad)
+
+    def test_invalid_label_key_rejected_at_registration(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="label name"):
+            reg.counter("m.count", **{"bad-key": "v"})

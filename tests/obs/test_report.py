@@ -117,3 +117,28 @@ class TestChaosIntegration:
         parallel = run_campaign(cfg, workers=2).run_records()
         assert [dumps_record(r) for r in serial] == \
                [dumps_record(r) for r in parallel]
+
+
+class TestSkippedNoMetrics:
+    def run_rec(self, metrics):
+        return {"schema": "repro.run.v1", "summary": {"ok": True},
+                "metrics": metrics}
+
+    def test_null_and_malformed_metrics_counted_as_skipped(self):
+        good = self.run_rec({"counters": {}, "histograms": {},
+                             "gauges": {"oracle.converged_at": 5.0}})
+        tele = CampaignTelemetry.from_records(
+            [good, self.run_rec(None), self.run_rec("garbage"),
+             self.run_rec({"counters": "nope"})])
+        assert tele.runs == 4
+        assert tele.ok_runs == 4
+        assert tele.with_metrics == 1
+        assert tele.skipped_no_metrics == 3
+        assert tele.summary()["skipped_no_metrics"] == 3
+        # the good record still aggregates normally
+        assert tele.convergence_stats()["max"] == 5.0
+
+    def test_all_metrics_present_reports_zero_skipped(self):
+        tele = CampaignTelemetry.from_records(
+            [self.run_rec({"counters": {}, "histograms": {}, "gauges": {}})])
+        assert tele.skipped_no_metrics == 0

@@ -1,0 +1,141 @@
+"""Tests for the span-file timeline renderer (repro.obs.timeline)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import write_jsonl
+from repro.obs.spans import span_records
+from repro.obs.timeline import (
+    convergence_curve,
+    convergence_marker,
+    crash_times,
+    load_span_records,
+    phase_tracks,
+    render_timeline_ascii,
+    render_timeline_svg,
+    runs_in,
+    select_run,
+    suspicion_tracks,
+)
+
+
+def span(kind, start, end, pid, **kw):
+    base = {"kind": kind, "start": start, "end": end, "pid": pid,
+            "target": None, "detector": None, "wrongful": None,
+            "instance": None, "phase": None, "truncated": False}
+    base.update(kw)
+    return base
+
+
+def run_a_records():
+    spans = [
+        span("suspicion", 2.0, 6.0, "p0", target="p1", detector="hb",
+             wrongful=True),
+        span("suspicion", 10.0, 40.0, "p0", target="p1", detector="hb",
+             wrongful=False),
+        span("phase", 1.0, 3.0, "p0", instance="I", phase="hungry"),
+        span("phase", 3.0, 5.0, "p0", instance="I", phase="eating"),
+        span("phase", 5.0, 9.0, "p0", instance="I", phase="thinking"),
+        span("crash", 10.0, 10.0, "p1"),
+        span("convergence", 6.0, 6.0, "*"),
+    ]
+    return span_records("A", 1, 40.0, spans)
+
+
+def run_b_records(converged=True):
+    spans = [span("suspicion", 1.0, 20.0, "p2", target="p0", detector="hb",
+                  wrongful=True)]
+    if converged:
+        spans.append(span("convergence", 20.0, 20.0, "*"))
+    return span_records("B", 2, 40.0, spans)
+
+
+def test_load_skips_other_schemas(tmp_path):
+    path = tmp_path / "mixed.jsonl"
+    write_jsonl(path, run_a_records() + [{"schema": "repro.run.v1"}])
+    records = load_span_records([path])
+    assert len(records) == len(run_a_records())
+    assert runs_in(records) == [("A", 1)]
+
+
+def test_select_run_defaults_to_first_and_honors_seed():
+    records = run_a_records() + run_b_records()
+    assert select_run(records) == ("A", 1)
+    assert select_run(records, seed=2) == ("B", 2)
+
+
+def test_select_run_errors():
+    with pytest.raises(ConfigurationError, match="no repro.span.v1"):
+        select_run([])
+    with pytest.raises(ConfigurationError, match="available seeds: \\[1, 2\\]"):
+        select_run(run_a_records() + run_b_records(), seed=9)
+
+
+def test_suspicion_tracks_styled_by_wrongfulness():
+    spans = [r["span"] for r in run_a_records()]
+    tracks = suspicion_tracks(spans)
+    assert tracks == {"p0→p1": [(2.0, 6.0, "wrongful"),
+                                (10.0, 40.0, "justified")]}
+
+
+def test_phase_tracks_omit_thinking():
+    spans = [r["span"] for r in run_a_records()]
+    tracks = phase_tracks(spans)
+    assert tracks == {"p0 dining": [(1.0, 3.0, "hungry"),
+                                    (3.0, 5.0, "eating")]}
+
+
+def test_crash_and_convergence_extraction():
+    spans = [r["span"] for r in run_a_records()]
+    assert crash_times(spans) == {"p1": 10.0}
+    assert convergence_marker(spans) == 6.0
+
+
+def test_convergence_curve_counts_unconverged_in_denominator():
+    records = run_a_records() + run_b_records(converged=False)
+    points, converged, total = convergence_curve(records)
+    assert (converged, total) == (1, 2)
+    assert points == [(6.0, 0.5)]   # plateaus below 1.0
+
+
+def test_ascii_render_contents():
+    out = render_timeline_ascii(run_a_records() + run_b_records(), width=40)
+    assert "timeline: A seed 1" in out
+    assert "p0→p1" in out and "p0 dining" in out
+    assert "legend:" in out
+    assert "crashes: p1@10" in out
+    assert "converged at 6" in out
+    assert "CDF |" in out
+
+
+def test_ascii_render_never_converged():
+    out = render_timeline_ascii(run_b_records(converged=False))
+    assert "converged at — (never)" in out
+    assert "(0/1 runs)" in out
+
+
+def test_svg_render_deterministic_and_styled():
+    records = run_a_records() + run_b_records()
+    one = render_timeline_svg(records)
+    two = render_timeline_svg([dict(r) for r in records])
+    assert one == two
+    assert "#c0392b" in one        # wrongful fill
+    assert "convergence CDF (2/2)" in one
+    assert "polyline" in one
+
+
+def test_ascii_svg_roundtrip_through_files(tmp_path):
+    """File → load → render equals in-memory render (the CLI path)."""
+    path = tmp_path / "spans.jsonl"
+    records = run_a_records() + run_b_records()
+    write_jsonl(path, records)
+    loaded = load_span_records([path])
+    assert render_timeline_ascii(loaded) == render_timeline_ascii(records)
+    assert render_timeline_svg(loaded) == render_timeline_svg(records)
+
+
+def test_empty_window_rejected():
+    records = span_records("Z", 0, 0.0,
+                           [span("convergence", 0.0, 0.0, "*")])
+    with pytest.raises(ConfigurationError, match="empty time window"):
+        render_timeline_ascii(records)

@@ -1,0 +1,186 @@
+"""Tests for the live progress reporter (repro.runtime.progress)."""
+
+import io
+import json
+
+from repro.runtime.progress import (
+    PROGRESS_SCHEMA,
+    ProgressReporter,
+    progress_sample,
+)
+
+
+def run_value(ok=True, events=100, convergence=5.0, wrongful=2):
+    return {"record": {"summary": {"ok": ok, "events_processed": events,
+                                   "convergence_time": convergence,
+                                   "wrongful_suspicions": wrongful}}}
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def reporter(total=4, **kw):
+    kw.setdefault("stream", io.StringIO())
+    kw.setdefault("clock", FakeClock())
+    kw.setdefault("wall_clock", lambda: 1000.0)
+    return ProgressReporter(total, **kw)
+
+
+# -- sample extraction --------------------------------------------------------
+
+
+def test_sample_from_sweep_row_dict():
+    s = progress_sample(run_value(ok=False, events=42, wrongful=3))
+    assert s == {"ok": False, "events": 42, "convergence_time": 5.0,
+                 "wrongful_suspicions": 3}
+
+
+def test_sample_from_run_record_object():
+    class Verdict:
+        def run_record(self):
+            return {"summary": {"events_processed": 7,
+                                "convergence_time": None,
+                                "wrongful_suspicions": 0},
+                    "verdict": {"ok": True}}
+
+    s = progress_sample(Verdict())
+    assert s["ok"] is True and s["events"] == 7
+    assert s["convergence_time"] is None
+
+
+def test_sample_from_summary_object():
+    class Result:
+        def summary(self):
+            return {"ok": True, "events_processed": 9,
+                    "convergence_time": 1.0, "wrongful_suspicions": 1}
+
+    assert progress_sample(Result())["events"] == 9
+
+
+def test_sample_degrades_on_unknown_shapes():
+    assert progress_sample(None) == {}
+    assert progress_sample(42) == {}
+    assert progress_sample({"record": "not-a-mapping"}) == {}
+
+
+# -- aggregates and the live line --------------------------------------------
+
+
+def test_snapshot_aggregates_and_eta():
+    clock = FakeClock()
+    r = reporter(total=4, clock=clock)
+    r.start()
+    clock.t = 2.0
+    r.update(0, run_value())
+    r.update(1, run_value(ok=False, convergence=None), cached=True)
+    snap = r.snapshot()
+    assert snap["schema"] == PROGRESS_SCHEMA
+    assert (snap["done"], snap["cached"], snap["failed"]) == (2, 1, 1)
+    assert (snap["converged"], snap["unconverged"]) == (1, 1)
+    assert snap["events"] == 200
+    assert snap["events_per_sec"] == 100.0
+    assert snap["eta_seconds"] == 2.0   # 2 runs in 2s, 2 remaining
+    assert snap["wall_time"] == 1000.0
+
+
+def test_render_line_contents():
+    clock = FakeClock()
+    r = reporter(total=2, label="chaos", clock=clock)
+    r.start()
+    clock.t = 1.0
+    r.update(0, run_value(ok=False), cached=True)
+    line = r.render_line()
+    assert line.startswith("chaos: 1/2 runs")
+    assert "1 cached" in line and "1 FAILED" in line
+    assert "wrongful 2" in line and "converged 1/1" in line
+    assert "eta" in line
+
+
+def test_live_line_overwrites_with_carriage_return():
+    stream = io.StringIO()
+    clock = FakeClock()
+    r = reporter(total=2, stream=stream, live=True, clock=clock,
+                 min_interval=0.0)
+    r.update(0, run_value())
+    clock.t = 1.0
+    r.update(1, run_value())
+    r.finish()
+    out = stream.getvalue()
+    assert out.count("\r") >= 2
+    assert out.endswith("\n")       # finish terminates the line
+
+
+def test_not_live_writes_nothing_to_stream():
+    stream = io.StringIO()
+    r = reporter(total=2, stream=stream, live=False)
+    r.update(0, run_value())
+    r.finish()
+    assert stream.getvalue() == ""
+
+
+def test_auto_detect_live_is_false_for_stringio():
+    assert reporter().live is False
+
+
+# -- heartbeat file -----------------------------------------------------------
+
+
+def test_heartbeat_jsonl_schema_and_progression(tmp_path):
+    hb = tmp_path / "hb.jsonl"
+    r = reporter(total=2, heartbeat_path=str(hb))
+    r.start()
+    r.update(0, run_value())
+    r.update(1, run_value())
+    r.finish()
+    lines = [json.loads(x) for x in hb.read_text().splitlines()]
+    assert len(lines) == 3   # start + one per landed run
+    assert all(x["schema"] == PROGRESS_SCHEMA for x in lines)
+    assert [x["done"] for x in lines] == [0, 1, 2]
+
+
+def test_heartbeat_appends_across_reporters(tmp_path):
+    """A resumed campaign extends the same heartbeat file."""
+    hb = tmp_path / "hb.jsonl"
+    first = reporter(total=2, heartbeat_path=str(hb))
+    first.start()
+    first.update(0, run_value())
+    first.finish()
+    second = reporter(total=2, heartbeat_path=str(hb))
+    second.start()
+    second.update(0, run_value(), cached=True)
+    second.update(1, run_value())
+    second.finish()
+    lines = [json.loads(x) for x in hb.read_text().splitlines()]
+    assert [x["done"] for x in lines] == [0, 1, 0, 1, 2]
+    assert lines[-1]["cached"] == 1
+
+
+def test_finish_idempotent_and_safe_before_start(tmp_path):
+    r = reporter(total=1, heartbeat_path=str(tmp_path / "hb.jsonl"))
+    r.finish()
+    r.finish()
+    r2 = reporter(total=1)
+    r2.update(0, run_value())   # update auto-starts
+    r2.finish()
+    r2.finish()
+    assert r2.done == 1
+
+
+def test_throttling_skips_intermediate_draws():
+    stream = io.StringIO()
+    clock = FakeClock()
+    r = reporter(total=10, stream=stream, live=True, clock=clock,
+                 min_interval=10.0)
+    r.start()
+    for i in range(5):
+        r.update(i, run_value())    # all within the throttle window
+    assert stream.getvalue().count("\r") == 1   # only the start draw
+    for i in range(5, 10):
+        r.update(i, run_value())
+    # completion forces a draw even inside the throttle window
+    assert "10/10" in stream.getvalue()

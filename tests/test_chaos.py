@@ -70,6 +70,23 @@ class TestBuildRun:
         assert "--pairs" not in ChaosConfig().cli_flags()
         assert "--graphs" not in ChaosConfig().cli_flags()
 
+    def test_cli_flags_round_trip_spans(self):
+        assert "--spans" in ChaosConfig(spans=True).cli_flags()
+        assert "--spans" not in ChaosConfig().cli_flags()
+
+    def test_spans_thread_into_run_and_verdict(self):
+        cfg = ChaosConfig(campaigns=1, seed=9, spans=True)
+        sc = build_run(5, cfg)
+        assert sc.spans is True
+        result = run_campaign(cfg)
+        (verdict,) = result.verdicts
+        records = verdict.span_records()
+        assert records and records[0]["schema"] == "repro.span.v1"
+        assert result.span_records() == records
+        # spans off by default: nothing collected, nothing exported
+        plain = run_campaign(ChaosConfig(campaigns=1, seed=9))
+        assert plain.span_records() == []
+
 
 class TestCampaign:
     def test_twenty_runs_all_invariants_hold(self):

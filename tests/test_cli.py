@@ -139,3 +139,129 @@ def test_run_normalized_flags(tmp_path, capsys):
     assert "--trace-sink does not apply" in captured.err
     (record,) = _read_jsonl(metrics)
     assert record["name"] == "e1" and record["ok"] is True
+
+
+# -- span export, timeline, and progress --------------------------------------
+
+
+def test_scenario_spans_out_and_timeline(tmp_path, capsys):
+    spans = tmp_path / "spans.jsonl"
+    rc = main(["scenario", _scenario_file(tmp_path, crashes={"p1": 120.0}),
+               "--spans-out", str(spans)])
+    assert rc == 0
+    assert "span records written to" in capsys.readouterr().out
+    records = _read_jsonl(spans)
+    assert records and all(r["schema"] == "repro.span.v1" for r in records)
+    assert records[0]["run"]["seed"] == 3
+
+    svg = tmp_path / "t.svg"
+    assert main(["timeline", str(spans), "--svg-out", str(svg)]) == 0
+    out = capsys.readouterr().out
+    assert "timeline: cli-mini seed 3" in out
+    assert "CDF |" in out
+    assert svg.read_text().startswith("<svg")
+
+
+def test_timeline_svg_byte_identical_between_renders(tmp_path, capsys):
+    spans = tmp_path / "spans.jsonl"
+    assert main(["chaos", "--campaigns", "2", "--seed", "5",
+                 "--spans-out", str(spans)]) == 0
+    capsys.readouterr()
+    one, two = tmp_path / "one.svg", tmp_path / "two.svg"
+    assert main(["timeline", str(spans), "--svg-out", str(one)]) == 0
+    assert main(["timeline", str(spans), "--svg-out", str(two)]) == 0
+    capsys.readouterr()
+    assert one.read_bytes() == two.read_bytes()
+
+
+def test_timeline_unknown_seed_is_clean_error(tmp_path, capsys):
+    spans = tmp_path / "spans.jsonl"
+    assert main(["scenario", _scenario_file(tmp_path),
+                 "--spans-out", str(spans)]) == 0
+    capsys.readouterr()
+    assert main(["timeline", str(spans), "--seed", "999"]) == 2
+    assert "available seeds" in capsys.readouterr().err
+
+
+def test_timeline_empty_file_is_clean_error(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["timeline", str(empty)]) == 2
+    assert "no repro.span.v1 records" in capsys.readouterr().err
+
+
+def test_sweep_spans_out_collects_all_seeds(tmp_path, capsys):
+    spans = tmp_path / "spans.jsonl"
+    rc = main(["sweep", _scenario_file(tmp_path), "--seeds", "2",
+               "--spans-out", str(spans)])
+    assert rc == 0
+    capsys.readouterr()
+    seeds = {r["run"]["seed"] for r in _read_jsonl(spans)}
+    assert len(seeds) == 2
+
+
+def test_chaos_spans_out_identical_across_workers(tmp_path, capsys):
+    serial, pooled = tmp_path / "s.jsonl", tmp_path / "p.jsonl"
+    assert main(["chaos", "--campaigns", "3", "--seed", "11",
+                 "--spans-out", str(serial)]) == 0
+    assert main(["chaos", "--campaigns", "3", "--seed", "11",
+                 "--workers", "2", "--spans-out", str(pooled)]) == 0
+    capsys.readouterr()
+    assert serial.read_bytes() == pooled.read_bytes()
+
+
+def test_chaos_progress_out_heartbeat(tmp_path, capsys):
+    hb = tmp_path / "hb.jsonl"
+    rc = main(["chaos", "--campaigns", "2", "--seed", "3",
+               "--progress-out", str(hb)])
+    assert rc == 0
+    capsys.readouterr()
+    lines = _read_jsonl(hb)
+    assert lines[0]["schema"] == "repro.progress.v1"
+    assert lines[-1]["done"] == 2 and lines[-1]["total"] == 2
+    assert lines[-1]["converged"] + lines[-1]["unconverged"] == 2
+
+
+def test_chaos_resume_extends_heartbeat_and_keeps_spans(tmp_path, capsys):
+    hb = tmp_path / "hb.jsonl"
+    store = tmp_path / "store"
+    first = tmp_path / "first.jsonl"
+    second = tmp_path / "second.jsonl"
+    assert main(["chaos", "--campaigns", "2", "--seed", "3", "--spans",
+                 "--store", str(store), "--progress-out", str(hb),
+                 "--spans-out", str(first)]) == 0
+    assert main(["chaos", "--campaigns", "2", "--seed", "3", "--spans",
+                 "--store", str(store), "--resume", "--progress-out",
+                 str(hb), "--spans-out", str(second)]) == 0
+    capsys.readouterr()
+    # resumed campaign: byte-identical spans, appended heartbeat with
+    # the second campaign served entirely from cache
+    assert first.read_bytes() == second.read_bytes()
+    lines = _read_jsonl(hb)
+    assert lines[-1]["done"] == 2 and lines[-1]["cached"] == 2
+
+
+def test_sweep_progress_flag_draws_live_line(tmp_path, capsys):
+    rc = main(["sweep", _scenario_file(tmp_path), "--seeds", "2",
+               "--progress"])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "\r" in err and "2/2 runs" in err
+
+
+def test_spans_out_bad_path_fails_fast(tmp_path, capsys):
+    rc = main(["chaos", "--campaigns", "1",
+               "--spans-out", str(tmp_path)])   # a directory
+    assert rc == 2
+    assert "is a directory" in capsys.readouterr().err
+
+
+def test_report_warns_on_records_without_metrics(tmp_path, capsys):
+    path = tmp_path / "m.jsonl"
+    path.write_text(json.dumps({"schema": "repro.run.v1",
+                                "summary": {"ok": True},
+                                "metrics": None}) + "\n")
+    assert main(["report", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "warning: 1 record(s) without a usable metrics block" \
+        in captured.err
