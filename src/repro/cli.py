@@ -16,6 +16,15 @@ Usage::
     python -m repro bench                         # engine microbenchmarks
     python -m repro bench --check                 # fail on perf regression
     python -m repro bench --scaling               # events/sec-vs-n curve
+    python -m repro serve --store results.jsonl   # campaign service daemon
+    python -m repro submit spec.json --campaign 16 --wait
+    python -m repro store ls results.jsonl        # cache inspection
+
+``repro serve`` runs the persistent campaign service (HTTP RunSpec
+submission, bounded async job queue, content-addressed cache hits, SSE
+job progress, live ``/metrics``, graceful SIGTERM drain with
+journal-backed restart recovery); ``repro submit`` is the thin client
+and ``repro store ls`` the cache debugging loop — see docs/service.md.
 
 Four flags are accepted uniformly by ``run``/``scenario``/``sweep``/
 ``chaos`` (shared argparse parent parsers, so helptext and defaults stay
@@ -541,6 +550,118 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the persistent campaign service (docs/service.md)."""
+    from repro.errors import ReproError
+    from repro.service.server import ServiceConfig, serve_forever
+
+    try:
+        config = ServiceConfig(
+            store_path=args.store, host=args.host, port=args.port,
+            journal_path=args.journal, workers=args.workers,
+            queue_max=args.queue_max, task_timeout=args.task_timeout,
+            drain_grace=args.drain_grace)
+        return serve_forever(config)
+    except ReproError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_submit(args) -> int:
+    """Submit a RunSpec JSON file to a running campaign service."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.service.client import Client, ServiceError
+
+    try:
+        spec_data = json.loads(pathlib.Path(args.path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return _fail_usage("repro submit",
+                           f"cannot read spec {args.path}: {exc}")
+    client = Client(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.campaign is not None:
+            sub = client.submit_campaign(spec_data, runs=args.campaign)
+        else:
+            sub = client.submit_run(spec_data)
+        out = dict(sub)
+        if args.wait and out.get("job"):
+            out["final"] = client.wait(out["job"], timeout=args.timeout)
+    except (ServiceError, ReproError) as exc:
+        print(f"repro submit: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
+    else:
+        if out.get("cached"):
+            print(f"cache hit: {out['spec_key']} (served from store, "
+                  "no job scheduled)")
+        else:
+            label = (f"campaign of {out['total']} runs"
+                     if args.campaign is not None else "run")
+            print(f"job {out['job']} queued ({label})")
+        final = out.get("final")
+        if final is not None:
+            print(f"job {final['id']}: {final['state']} — "
+                  f"{final['done']}/{final['total']} runs "
+                  f"({final['cached']} cached, "
+                  f"{final['failed_runs']} failed)")
+    final = out.get("final")
+    if final is not None:
+        return 0 if (final["state"] == "done"
+                     and not final["failed_runs"]) else 1
+    return 0
+
+
+def cmd_store(args) -> int:
+    """Inspect a content-addressed result store (``repro store ls``)."""
+    import json
+
+    from repro.analysis.report import Table
+    from repro.errors import ReproError
+    from repro.runtime.store import ResultStore
+
+    if not pathlib.Path(args.path).exists():
+        return _fail_usage("repro store", f"no store at {args.path}")
+    try:
+        store = ResultStore(args.path)
+    except ReproError as exc:
+        print(f"repro store: error: {exc}", file=sys.stderr)
+        return 2
+    entries = [{"spec_key": key, **_store_digest(payload)}
+               for key, payload in store.items()]
+    counters = {name: int(value) for name, value in store.stats().items()}
+    if args.json:
+        print(json.dumps({"path": str(args.path), "entries": entries,
+                          "counters": counters},
+                         indent=2, sort_keys=True))
+        return 0
+    table = Table(["spec_key", "name", "seed", "ok", "events"],
+                  title=f"store: {args.path} ({len(store)} result(s))")
+    for entry in entries:
+        table.add_row([entry["spec_key"], entry["name"],
+                       entry["seed"], entry["ok"], entry["events"]])
+    print(table.render())
+    print("counters: " + ", ".join(
+        f"{name.split('.', 1)[1]} {counters.get(name, 0)}"
+        for name in ("store.hits", "store.misses", "store.puts",
+                     "store.corrupt_lines")))
+    return 0
+
+
+def _store_digest(payload) -> dict:
+    """Human row for one store payload: every writer (service runs, chaos
+    verdicts, sweep rows) embeds a ``record.summary`` block; degrade to
+    blanks on anything else rather than failing the listing."""
+    record = payload.get("record") if isinstance(payload, dict) else None
+    summary = record.get("summary") if isinstance(record, dict) else None
+    if not isinstance(summary, dict):
+        summary = {}
+    return {"name": summary.get("name"), "seed": summary.get("seed"),
+            "ok": summary.get("ok"), "events": summary.get("events_processed")}
+
+
 def _run_experiment(name: str) -> tuple:
     """One experiment by id, timed (module-level for worker pools)."""
     registry = _registry()
@@ -764,6 +885,60 @@ def main(argv: Sequence[str] | None = None) -> int:
                      metavar="N",
                      help="system sizes for --scaling "
                           "(default: 16 64 256 1000)")
+    srv = sub.add_parser("serve",
+                         help="run the persistent campaign service: HTTP "
+                              "RunSpec submissions, async job queue, "
+                              "result-cache hits, live /metrics "
+                              "(docs/service.md)")
+    srv.add_argument("--store", required=True, metavar="PATH",
+                     help="content-addressed result store backing the "
+                          "cache (created if missing)")
+    srv.add_argument("--journal", default=None, metavar="PATH",
+                     help="job journal for restart recovery "
+                          "(default: <store>.jobs)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="bind port (default 8642; 0 picks a free port)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="supervised worker processes per job (default 1)")
+    srv.add_argument("--queue-max", type=int, default=64,
+                     help="bounded job-queue depth; submissions beyond it "
+                          "get 503 (default 64)")
+    srv.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget per pooled run "
+                          "(docs/reliability.md)")
+    srv.add_argument("--drain-grace", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="seconds SIGTERM waits for queued jobs before "
+                          "exiting with them journaled (default 60)")
+    sbm = sub.add_parser("submit",
+                         help="submit a RunSpec JSON file to a running "
+                              "campaign service")
+    sbm.add_argument("path", help="path to the RunSpec JSON")
+    sbm.add_argument("--campaign", type=int, default=None, metavar="RUNS",
+                     help="submit as a seed fan-out campaign of RUNS runs")
+    sbm.add_argument("--host", default="127.0.0.1",
+                     help="service host (default 127.0.0.1)")
+    sbm.add_argument("--port", type=int, default=8642,
+                     help="service port (default 8642)")
+    sbm.add_argument("--wait", action="store_true",
+                     help="poll the job until done/failed and exit "
+                          "nonzero on failure")
+    sbm.add_argument("--timeout", type=float, default=300.0,
+                     help="request/wait timeout in seconds (default 300)")
+    sbm.add_argument("--json", action="store_true",
+                     help="print the raw submission (and final job) JSON")
+    sto = sub.add_parser("store",
+                         help="inspect a content-addressed result store")
+    stosub = sto.add_subparsers(dest="store_command", required=True)
+    stols = stosub.add_parser("ls",
+                              help="list spec keys, run summaries, and "
+                                   "hit/miss/put/corrupt counters")
+    stols.add_argument("path", help="path to the store JSONL file")
+    stols.add_argument("--json", action="store_true",
+                       help="emit the listing as JSON")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -774,6 +949,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_bench(args)
     if args.command == "timeline":
         return cmd_timeline(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "submit":
+        return cmd_submit(args)
+    if args.command == "store":
+        return cmd_store(args)
 
     # Output-path flags fail in milliseconds, not after a long campaign.
     for flag, value in (("--metrics-out", args.metrics_out),

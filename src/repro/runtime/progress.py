@@ -38,6 +38,13 @@ from typing import Any, Callable, Mapping, Optional, TextIO
 #: Schema tag stamped on every heartbeat record.
 PROGRESS_SCHEMA = "repro.progress.v1"
 
+#: Minimum elapsed wall-clock (seconds) before rates and ETA are
+#: reported.  A first result can land with ~0 elapsed time (cache hits
+#: are served synchronously at load), and dividing by a near-zero
+#: elapsed produces absurd rates and a bogus 0s ETA; below this floor
+#: both are reported as unknown (``None``) instead.
+MIN_RATE_ELAPSED = 1e-6
+
 
 def progress_sample(value: Any) -> dict[str, Any]:
     """Flat ``{ok, events, convergence_time, wrongful_suspicions}`` view
@@ -170,8 +177,9 @@ class ProgressReporter:
     def snapshot(self) -> dict[str, Any]:
         """The running aggregates as one heartbeat-record body."""
         elapsed = 0.0 if self._t0 is None else self._clock() - self._t0
-        rate = self.done / elapsed if elapsed > 0 else None
-        events_per_sec = self.events / elapsed if elapsed > 0 else None
+        rate = self.done / elapsed if elapsed > MIN_RATE_ELAPSED else None
+        events_per_sec = (self.events / elapsed
+                          if elapsed > MIN_RATE_ELAPSED else None)
         eta = (None if not rate or self.done >= self.total
                else (self.total - self.done) / rate)
         return {

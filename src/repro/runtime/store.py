@@ -131,6 +131,11 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self._index)
 
+    def items(self) -> "list[tuple[str, dict[str, Any]]]":
+        """``(key, payload)`` pairs in append order (``repro store ls``);
+        uncounted — inspection is not cache traffic."""
+        return list(self._index.items())
+
     def get(self, key: str) -> Optional[dict[str, Any]]:
         """The payload stored under ``key``; counts a hit or a miss."""
         payload = self._index.get(key)
@@ -141,14 +146,27 @@ class ResultStore:
         return payload
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
-        """Durably append ``key -> payload`` (flush + fsync per record)."""
+        """Durably append ``key -> payload`` (fsync per record).
+
+        The whole record goes down in one ``os.write`` on an
+        ``O_APPEND`` descriptor, so concurrent appends from separate
+        processes (two campaigns sharing a store, a service restarting
+        over a live file) land as whole lines instead of interleaving —
+        POSIX serializes each append write at the file offset.  Pinned
+        by ``tests/runtime/test_store_concurrent.py``.
+        """
         line = json.dumps(
             {"schema": STORE_SCHEMA, "key": key, "payload": payload},
             separators=(",", ":"))
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        data = (line + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            while data:
+                data = data[os.write(fd, data):]
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         self._index[key] = dict(payload)
         self.metrics.counter("store.puts").inc()
 

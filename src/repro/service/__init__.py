@@ -1,0 +1,59 @@
+"""The campaign service: a persistent HTTP front door over the runtime.
+
+``repro serve`` runs a long-lived daemon that accepts
+:class:`~repro.runtime.spec.RunSpec` submissions as canonical JSON over
+HTTP, executes them on the existing supervised worker pool, and serves
+repeated specs as content-addressed cache hits from the shared
+:class:`~repro.runtime.store.ResultStore` — the layer that turns "a CLI
+you run" into "a system serving submitted scenarios".
+
+* :class:`~repro.service.server.CampaignService` /
+  :func:`~repro.service.server.serve_forever` — the asyncio server
+  (``POST /v1/runs``, ``POST /v1/campaigns``, ``GET /v1/runs/<key>``,
+  ``GET /v1/jobs[/<id>[/events]]``, ``GET /metrics``, ``GET /healthz``);
+* :class:`~repro.service.server.EmbeddedService` — the same service on a
+  background thread, for tests and programmatic embedding;
+* :class:`~repro.service.client.Client` — the stdlib HTTP client
+  (``repro submit`` is a shim over it);
+* :mod:`~repro.service.jobs` / :mod:`~repro.service.journal` — job
+  lifecycle (queued → running → done/failed) and journal-backed restart
+  recovery;
+* :mod:`~repro.service.encoding` — the canonical result payload whose
+  bytes are identical between a service fetch and a local
+  ``repro.run()`` (the cache-soundness invariant).
+
+See docs/service.md for the full protocol and operational model.
+"""
+
+from repro.service.client import Client, ServiceError
+from repro.service.encoding import (
+    RESULT_SCHEMA,
+    execute_spec_payload,
+    payload_bytes,
+    result_payload,
+)
+from repro.service.jobs import JOB_SCHEMA, Job, next_job_id
+from repro.service.journal import JobJournal
+from repro.service.server import (
+    CampaignService,
+    EmbeddedService,
+    ServiceConfig,
+    serve_forever,
+)
+
+__all__ = [
+    "CampaignService",
+    "Client",
+    "EmbeddedService",
+    "JOB_SCHEMA",
+    "Job",
+    "JobJournal",
+    "RESULT_SCHEMA",
+    "ServiceConfig",
+    "ServiceError",
+    "execute_spec_payload",
+    "next_job_id",
+    "payload_bytes",
+    "result_payload",
+    "serve_forever",
+]

@@ -1,0 +1,178 @@
+"""Programmatic client for the campaign service (stdlib ``http.client``).
+
+:class:`Client` wraps the service's HTTP protocol one method per
+endpoint, raising :class:`ServiceError` (with the HTTP status) on error
+responses.  ``repro submit`` is a thin CLI shim over this class; tests
+and notebooks use it directly::
+
+    from repro.service import Client
+
+    client = Client("127.0.0.1", 8642)
+    sub = client.submit_run({"graph": "ring:4", "seed": 7})
+    if not sub["cached"]:
+        client.wait(sub["job"])
+    payload = client.result(sub["spec_key"])
+
+Each call opens one connection (the server closes after every
+response), so a client object is cheap, stateless, and safe to share.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.errors import ReproError
+from repro.service.jobs import TERMINAL
+
+
+class ServiceError(ReproError):
+    """An error response (or transport failure) from the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class Client:
+    """One campaign service, as Python methods."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: "Mapping[str, Any] | None" = None,
+                 expect: "tuple[int, ...]" = (200, 202)) -> "tuple[int, bytes]":
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = (None if body is None
+                       else json.dumps(body).encode("utf-8"))
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                data = resp.read()
+                status = resp.status
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"service at {self.host}:{self.port} unreachable: "
+                    f"{exc}") from exc
+        finally:
+            conn.close()
+        if status not in expect:
+            raise ServiceError(
+                f"{method} {path} -> {status}: {_error_text(data)}",
+                status=status)
+        return status, data
+
+    def _json(self, method: str, path: str,
+              body: "Mapping[str, Any] | None" = None,
+              expect: "tuple[int, ...]" = (200, 202)) -> dict[str, Any]:
+        _, data = self._request(method, path, body, expect)
+        return json.loads(data)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw ``/metrics`` Prometheus textfile body."""
+        _, data = self._request("GET", "/metrics", expect=(200,))
+        return data.decode("utf-8")
+
+    def submit_run(self, spec: Mapping[str, Any]) -> dict[str, Any]:
+        """Submit one RunSpec dict.  Returns ``{"cached", "spec_key",
+        "job", ...}`` — ``cached`` True means the result rode back in
+        the response and no job was scheduled."""
+        return self._json("POST", "/v1/runs", body=dict(spec))
+
+    def submit_campaign(self, spec: Mapping[str, Any],
+                        runs: Optional[int] = None,
+                        seeds: "Optional[list[int]]" = None) -> dict[str, Any]:
+        """Submit a seed fan-out of one base spec (``runs`` derived seeds,
+        or an explicit ``seeds`` list)."""
+        body: dict[str, Any] = {"spec": dict(spec)}
+        if runs is not None:
+            body["runs"] = int(runs)
+        if seeds is not None:
+            body["seeds"] = [int(s) for s in seeds]
+        return self._json("POST", "/v1/campaigns", body=body)
+
+    def result(self, spec_key: str) -> dict[str, Any]:
+        """The cached ``repro.result.v1`` payload for a spec key."""
+        return json.loads(self.result_bytes(spec_key))
+
+    def result_bytes(self, spec_key: str) -> bytes:
+        """The exact cached payload bytes (the byte-identity surface:
+        equal to ``payload_bytes(result_payload(repro.run(spec)))``)."""
+        _, data = self._request("GET", f"/v1/runs/{spec_key}",
+                                expect=(200,))
+        return data
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> "list[dict[str, Any]]":
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.1) -> dict[str, Any]:
+        """Poll until the job reaches done/failed; returns the final
+        snapshot (raises :class:`ServiceError` on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snap = self.job(job_id)
+            if snap["state"] in TERMINAL:
+                return snap
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {snap['state']!r} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str,
+               timeout: float = 300.0) -> Iterator[dict[str, Any]]:
+        """Stream the job's SSE feed: yields each ``repro.progress.v1``
+        heartbeat as a dict, then the terminal job snapshot (tagged
+        ``"event": "end"``), then returns."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raise ServiceError(
+                    f"GET /v1/jobs/{job_id}/events -> {resp.status}: "
+                    f"{_error_text(resp.read())}", status=resp.status)
+            event_name = None
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    event_name = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    record = json.loads(line.split(":", 1)[1].strip())
+                    if event_name == "end":
+                        record["event"] = "end"
+                        yield record
+                        return
+                    yield record
+                elif not line:
+                    event_name = None
+        finally:
+            conn.close()
+
+
+def _error_text(data: bytes) -> str:
+    try:
+        return json.loads(data).get("error", data.decode("utf-8", "replace"))
+    except (json.JSONDecodeError, AttributeError, UnicodeDecodeError):
+        return data.decode("utf-8", "replace")[:200]

@@ -1,0 +1,145 @@
+"""Job lifecycle for the campaign service: queued → running → done/failed.
+
+A :class:`Job` is one accepted submission — a single run or a seed
+fan-out campaign — reduced to plain data the moment it is accepted: the
+canonical spec dicts, their content addresses
+(:func:`~repro.runtime.store.spec_hash`), and a state machine.  Jobs are
+created, mutated, and read **only on the service's event-loop thread**
+(executor threads marshal results in via ``call_soon_threadsafe``), so
+there are no locks here; HTTP handlers always observe a consistent job.
+
+Progress is delegated to the existing
+:class:`~repro.runtime.progress.ProgressReporter` — every landed run
+appends one ``repro.progress.v1`` heartbeat record to
+:attr:`Job.heartbeats`, the same schema the CLI's ``--progress-out``
+emits, so ``GET /v1/jobs/<id>/events`` streams records any existing
+heartbeat consumer already understands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import time
+from typing import Any, Optional
+
+from repro.runtime.progress import ProgressReporter
+
+#: Schema tag on job snapshots and journal records.
+JOB_SCHEMA = "repro.job.v1"
+
+# Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: All states, in lifecycle order (the /metrics per-state gauges).
+STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+#: States a job never leaves.
+TERMINAL = (DONE, FAILED)
+
+
+class Job:
+    """One accepted submission moving through the service's queue."""
+
+    def __init__(self, job_id: str, kind: str,
+                 specs: list[dict[str, Any]],
+                 spec_keys: list[str],
+                 wall_clock=time.time) -> None:
+        if len(specs) != len(spec_keys):
+            raise ValueError(
+                f"{len(specs)} specs but {len(spec_keys)} keys")
+        self.id = job_id
+        self.kind = kind  # "run" | "campaign"
+        self.specs = specs
+        self.spec_keys = spec_keys
+        self.state = QUEUED
+        self.error: Optional[str] = None
+        self._wall_clock = wall_clock
+        self.created_wall = wall_clock()
+        self.started_wall: Optional[float] = None
+        self.finished_wall: Optional[float] = None
+        #: repro.progress.v1 records, one per landed run (append-only).
+        self.heartbeats: list[dict[str, Any]] = []
+        #: Replaced (not cleared) on every change so any number of SSE
+        #: subscribers can wait without racing each other.
+        self._changed = asyncio.Event()
+        self.reporter = ProgressReporter(
+            total=len(specs), label=job_id, stream=io.StringIO(),
+            live=False)
+        self.reporter.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def mark_running(self) -> None:
+        self.state = RUNNING
+        self.started_wall = self._wall_clock()
+        self._notify()
+
+    def mark_done(self) -> None:
+        self.state = DONE
+        self.finished_wall = self._wall_clock()
+        self.reporter.finish()
+        self._notify()
+
+    def mark_failed(self, error: str) -> None:
+        self.state = FAILED
+        self.error = error
+        self.finished_wall = self._wall_clock()
+        self.reporter.finish()
+        self._notify()
+
+    def record_result(self, index: int, payload: Any,
+                      cached: bool) -> None:
+        """Fold one landed run (event-loop thread; ``on_result`` shape)."""
+        self.reporter.update(index, payload, cached)
+        self.heartbeats.append(self.reporter.snapshot())
+        self._notify()
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def _notify(self) -> None:
+        event, self._changed = self._changed, asyncio.Event()
+        event.set()
+
+    def changed(self) -> asyncio.Event:
+        """The event the *next* change will set (capture before checking
+        state, then ``await`` it if nothing new was found)."""
+        return self._changed
+
+    def snapshot(self) -> dict[str, Any]:
+        """The job as one JSON-ready status document (``GET /v1/jobs/<id>``)."""
+        return {
+            "schema": JOB_SCHEMA,
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "error": self.error,
+            "total": len(self.specs),
+            "done": self.reporter.done,
+            "cached": self.reporter.cached,
+            "failed_runs": self.reporter.failed,
+            "spec_keys": list(self.spec_keys),
+            "created_wall": round(self.created_wall, 3),
+            "started_wall": (None if self.started_wall is None
+                             else round(self.started_wall, 3)),
+            "finished_wall": (None if self.finished_wall is None
+                              else round(self.finished_wall, 3)),
+            "progress": self.heartbeats[-1] if self.heartbeats else None,
+        }
+
+
+def next_job_id(existing: "list[str] | set[str]") -> str:
+    """The next ``j<n>`` id after every numeric id in ``existing`` (journal
+    recovery keeps restarted services from reissuing ids)."""
+    highest = 0
+    for jid in existing:
+        if jid.startswith("j") and jid[1:].isdigit():
+            highest = max(highest, int(jid[1:]))
+    return f"j{highest + 1}"

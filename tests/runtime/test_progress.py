@@ -184,3 +184,44 @@ def test_throttling_skips_intermediate_draws():
         r.update(i, run_value())
     # completion forces a draw even inside the throttle window
     assert "10/10" in stream.getvalue()
+
+
+# -- near-zero elapsed time (the divide-by-~0 guard) --------------------------
+
+
+def test_zero_elapsed_reports_rates_and_eta_as_unknown():
+    """A first result landing with ~0 elapsed wall-clock (cache hits are
+    served synchronously at load) must not divide by near-zero: rates
+    and ETA come back None instead of absurd numbers."""
+    clock = FakeClock()
+    r = reporter(total=4, clock=clock)
+    r.start()
+    r.update(0, run_value(), cached=True)   # elapsed is exactly 0.0
+    snap = r.snapshot()
+    assert snap["events_per_sec"] is None
+    assert snap["eta_seconds"] is None
+    assert snap["done"] == 1 and snap["elapsed_seconds"] == 0.0
+
+
+def test_sub_epsilon_elapsed_is_still_guarded():
+    clock = FakeClock()
+    r = reporter(total=4, clock=clock)
+    r.start()
+    clock.t = 1e-9                          # below MIN_RATE_ELAPSED
+    r.update(0, run_value())
+    snap = r.snapshot()
+    assert snap["events_per_sec"] is None and snap["eta_seconds"] is None
+    line = r.render_line()                  # live line renders without rates
+    assert "ev/s" not in line and "eta" not in line
+
+
+def test_rates_return_once_real_time_has_passed():
+    clock = FakeClock()
+    r = reporter(total=4, clock=clock)
+    r.start()
+    r.update(0, run_value(events=100), cached=True)
+    clock.t = 2.0
+    r.update(1, run_value(events=100))
+    snap = r.snapshot()
+    assert snap["events_per_sec"] == 100.0  # 200 events / 2s
+    assert snap["eta_seconds"] == 2.0       # 2 done in 2s, 2 remaining

@@ -1,0 +1,64 @@
+"""Concurrent multi-process store appends land as whole lines.
+
+``ResultStore.put`` writes each record with a single ``os.write`` on an
+``O_APPEND`` descriptor, which POSIX serializes at the file offset.  Two
+processes hammering the same store file (two campaigns sharing a store,
+a service restarted over a live file) must therefore produce a file
+where every line parses and every record survives — no torn or
+interleaved JSONL.
+"""
+
+import json
+import subprocess
+import sys
+
+from repro.runtime.store import STORE_SCHEMA, ResultStore
+
+WRITER = """
+import sys
+from repro.runtime.store import ResultStore
+
+path, prefix, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+store = ResultStore(path)
+filler = {"blob": "x" * 2048, "nested": {"values": list(range(64))}}
+for i in range(count):
+    store.put(f"{prefix}-{i}", {"writer": prefix, "i": i, **filler})
+"""
+
+PER_WRITER = 200
+
+
+def test_two_process_appends_never_tear_lines(tmp_path):
+    store_path = tmp_path / "shared.jsonl"
+    store_path.touch()  # both writers append to one pre-existing file
+
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", WRITER, str(store_path), prefix,
+             str(PER_WRITER)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        for prefix in ("alpha", "beta")
+    ]
+    for proc in procs:
+        _, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err.decode()
+
+    text = store_path.read_text(encoding="utf-8")
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert len(lines) == 2 * PER_WRITER
+
+    seen = set()
+    for i, line in enumerate(lines):
+        rec = json.loads(line)  # raises on any torn/interleaved line
+        assert rec["schema"] == STORE_SCHEMA, f"line {i + 1} malformed"
+        payload = rec["payload"]
+        assert payload["blob"] == "x" * 2048  # body intact, not spliced
+        seen.add(rec["key"])
+    assert seen == {f"{p}-{i}" for p in ("alpha", "beta")
+                    for i in range(PER_WRITER)}
+
+    # and the store itself loads the merged file cleanly
+    merged = ResultStore(store_path)
+    assert len(merged) == 2 * PER_WRITER
+    assert merged.stats().get("store.corrupt_lines", 0) == 0

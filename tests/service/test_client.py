@@ -1,0 +1,33 @@
+"""Client-side behavior that doesn't need a live service."""
+
+import socket
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.client import Client, ServiceError, _error_text
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_unreachable_service_raises_service_error():
+    client = Client("127.0.0.1", free_port(), timeout=2.0)
+    with pytest.raises(ServiceError, match="unreachable"):
+        client.health()
+
+
+def test_service_error_is_a_repro_error_with_status():
+    err = ServiceError("boom", status=503)
+    assert isinstance(err, ReproError)
+    assert err.status == 503
+    assert ServiceError("transport").status is None
+
+
+def test_error_text_prefers_the_json_error_field():
+    assert _error_text(b'{"error": "queue full"}') == "queue full"
+    assert _error_text(b"plain text") == "plain text"
+    assert _error_text(b"\xff\xfe") != ""  # degrades, never raises

@@ -1,0 +1,51 @@
+"""The service's canonical result encoding (repro.service.encoding).
+
+The load-bearing invariant: the payload the service caches and serves
+over HTTP encodes to exactly the bytes a local ``repro.run()`` of the
+same spec would, so a cache hit is indistinguishable from a fresh run.
+"""
+
+import json
+
+import repro
+from repro.runtime.spec import RunSpec
+from repro.runtime.store import canonical_spec, spec_hash
+from repro.service.encoding import (
+    RESULT_SCHEMA,
+    execute_spec_payload,
+    payload_bytes,
+    result_payload,
+)
+
+SPEC = {"graph": "ring:3", "seed": 17, "max_time": 200.0}
+
+
+def test_result_payload_envelope():
+    result = repro.run(SPEC)
+    payload = result_payload(result)
+    assert payload["schema"] == RESULT_SCHEMA
+    assert payload["spec_key"] == spec_hash(RunSpec.from_dict(dict(SPEC)))
+    assert payload["record"]["summary"]["events_processed"] > 0
+
+
+def test_payload_bytes_deterministic_and_sorted():
+    payload = {"b": 2, "a": {"z": 1, "y": [3, 2]}, "schema": RESULT_SCHEMA}
+    data = payload_bytes(payload)
+    assert data == payload_bytes(dict(reversed(list(payload.items()))))
+    assert json.loads(data) == payload
+    assert data.index(b'"a"') < data.index(b'"b"')
+
+
+def test_execute_spec_payload_matches_local_run():
+    """Worker task output is byte-identical to repro.run() of the same
+    spec — the cache-soundness acceptance check, no HTTP involved."""
+    via_worker = execute_spec_payload(canonical_spec(
+        RunSpec.from_dict(dict(SPEC))))
+    via_api = result_payload(repro.run(SPEC))
+    assert payload_bytes(via_worker) == payload_bytes(via_api)
+
+
+def test_execute_spec_payload_pure():
+    a = execute_spec_payload(SPEC)
+    b = execute_spec_payload(SPEC)
+    assert payload_bytes(a) == payload_bytes(b)

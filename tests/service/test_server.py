@@ -1,0 +1,210 @@
+"""End-to-end campaign service acceptance (repro.service.server).
+
+Each test boots an :class:`EmbeddedService` on an ephemeral port and
+drives it through the real HTTP surface with :class:`Client` — the same
+wire path ``repro serve`` / ``repro submit`` use.  The two acceptance
+invariants from the service's contract are pinned here:
+
+* the bytes ``GET /v1/runs/<spec_key>`` serves are identical to what a
+  local ``repro.run()`` of the same spec encodes to, and
+* re-submitting an identical spec is a cache hit — answered from the
+  store, hit counter incremented, **no job scheduled**.
+"""
+
+import pytest
+
+import repro
+from repro.runtime.spec import RunSpec
+from repro.runtime.store import canonical_spec, spec_hash
+from repro.service import (
+    Client,
+    EmbeddedService,
+    ServiceConfig,
+    ServiceError,
+)
+from repro.service.encoding import payload_bytes, result_payload
+from repro.service.jobs import Job
+from repro.service.journal import JobJournal
+
+SPEC = {"graph": "ring:3", "seed": 23, "max_time": 200.0}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    config = ServiceConfig(store_path=str(tmp_path / "store.jsonl"), port=0)
+    embedded = EmbeddedService(config)
+    host, port = embedded.start()
+    yield Client(host, port), embedded
+    assert embedded.shutdown() is True, "service must drain clean"
+
+
+def test_submit_wait_fetch_byte_identical(service):
+    client, _ = service
+    sub = client.submit_run(SPEC)
+    assert sub["cached"] is False and sub["job"] == "j1"
+    final = client.wait(sub["job"], timeout=120)
+    assert final["state"] == "done"
+    assert final["done"] == 1 and final["cached"] == 0
+
+    served = client.result_bytes(sub["spec_key"])
+    local = payload_bytes(result_payload(repro.run(SPEC)))
+    assert served == local  # the acceptance invariant, byte for byte
+
+
+def test_resubmit_is_cache_hit_without_a_job(service):
+    client, embedded = service
+    first = client.submit_run(SPEC)
+    client.wait(first["job"], timeout=120)
+    jobs_before = len(client.jobs())
+    hits_before = _metric(client, "repro_store_hits")
+
+    again = client.submit_run(SPEC)
+    assert again["cached"] is True and again["job"] is None
+    assert again["spec_key"] == first["spec_key"]
+    assert again["result"]["schema"] == "repro.result.v1"
+    assert len(client.jobs()) == jobs_before  # no job scheduled
+    assert _metric(client, "repro_store_hits") == hits_before + 1
+
+
+def test_campaign_fanout_then_full_cache_replay(service):
+    client, _ = service
+    sub = client.submit_campaign(SPEC, runs=3)
+    assert sub["total"] == 3 and sub["cached_hint"] == 0
+    assert len(sub["spec_keys"]) == len(set(sub["spec_keys"])) == 3
+    final = client.wait(sub["job"], timeout=240)
+    assert final["state"] == "done"
+    assert final["done"] == 3 and final["cached"] == 0
+
+    replay = client.submit_campaign(SPEC, runs=3)
+    assert replay["cached_hint"] == 3
+    assert replay["spec_keys"] == sub["spec_keys"]
+    refinal = client.wait(replay["job"], timeout=60)
+    assert refinal["done"] == 3 and refinal["cached"] == 3
+
+
+def test_explicit_seeds_campaign(service):
+    client, _ = service
+    sub = client.submit_campaign(SPEC, seeds=[5, 6])
+    final = client.wait(sub["job"], timeout=240)
+    assert final["state"] == "done" and final["total"] == 2
+    expected = [spec_hash(RunSpec.from_dict(dict(SPEC, seed=s)))
+                for s in (5, 6)]
+    assert sub["spec_keys"] == expected
+
+
+def test_events_stream_heartbeats_then_end(service):
+    client, _ = service
+    sub = client.submit_campaign(SPEC, runs=2)
+    events = list(client.events(sub["job"], timeout=240))
+    assert events[-1].get("event") == "end"
+    assert events[-1]["state"] == "done"
+    beats = [e for e in events if e.get("schema") == "repro.progress.v1"]
+    assert len(beats) == 2
+    assert beats[-1]["done"] == 2 and beats[-1]["total"] == 2
+
+
+def test_metrics_surface(service):
+    client, _ = service
+    sub = client.submit_campaign(SPEC, runs=2)
+    client.wait(sub["job"], timeout=240)
+    text = client.metrics()
+    assert 'repro_service_jobs{state="done"} 2' not in text  # one job only
+    assert 'repro_service_jobs{state="done"} 1' in text
+    assert "repro_service_queue_depth 0" in text
+    assert "repro_service_cache_hit_ratio" in text
+    assert "repro_service_events_per_sec" in text
+    assert _metric(client, "repro_service_runs_executed") == 2
+    assert _metric(client, "repro_store_puts") == 2
+
+
+def test_bad_requests(service):
+    client, _ = service
+    with pytest.raises(ServiceError) as err:
+        client.submit_run({"graph": "ring:3", "max_time": -1.0})
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        client.submit_campaign(SPEC, runs=0)
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        client.result("deadbeef" * 8)
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client.job("j999")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client._request("GET", "/v1/nothing-here")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client._request("DELETE", "/v1/jobs")
+    assert err.value.status == 405
+    with pytest.raises(ServiceError) as err:
+        client._request("POST", "/v1/runs", body={"spec": []})
+    assert err.value.status == 400
+    assert client.health()["ok"] is True
+
+
+def test_draining_service_refuses_submissions(service):
+    import threading
+
+    client, embedded = service
+
+    def flip(value, flipped=None):
+        embedded.service.draining = value
+        if flipped is not None:
+            flipped.set()
+
+    flipped = threading.Event()
+    embedded._loop.call_soon_threadsafe(flip, True, flipped)
+    assert flipped.wait(5)
+    with pytest.raises(ServiceError) as err:
+        client.submit_run(SPEC)
+    assert err.value.status == 503 and "draining" in str(err.value)
+    # undo so the fixture's drain assertion still holds
+    flipped = threading.Event()
+    embedded._loop.call_soon_threadsafe(flip, False, flipped)
+    assert flipped.wait(5)
+
+
+def test_restart_reenqueues_incomplete_journaled_jobs(tmp_path):
+    """A job that was submitted but never finished (previous process
+    died) is re-enqueued on start with its original id and completed —
+    served from the store where the first life already checkpointed."""
+    store_path = tmp_path / "store.jsonl"
+    config = ServiceConfig(store_path=str(store_path), port=0)
+
+    spec = RunSpec.from_dict(dict(SPEC))
+    job = Job("j7", "run", [canonical_spec(spec)], [spec_hash(spec)])
+    JobJournal(config.journal).record_submit(job)  # no terminal state
+
+    embedded = EmbeddedService(config)
+    host, port = embedded.start()
+    try:
+        client = Client(host, port)
+        final = client.wait("j7", timeout=120)
+        assert final["state"] == "done" and final["done"] == 1
+        assert "repro_service_jobs_recovered 1" in client.metrics()
+    finally:
+        assert embedded.shutdown() is True
+
+    # Second restart: j7 is terminal in the journal now — history, not work.
+    embedded = EmbeddedService(config)
+    host, port = embedded.start()
+    try:
+        client = Client(host, port)
+        snap = client.job("j7")
+        assert snap["state"] == "done" and snap["done"] == 1
+        # and new ids continue past recovered ones
+        sub = client.submit_campaign(SPEC, runs=2)
+        assert sub["job"] == "j8"
+        client.wait(sub["job"], timeout=60)
+    finally:
+        assert embedded.shutdown() is True
+
+
+def _metric(client: Client, name: str) -> float:
+    """One /metrics sample value; absent means the counter was never
+    incremented (the registry creates them lazily), which reads as 0."""
+    for line in client.metrics().splitlines():
+        if line.startswith(name + " ") or line.startswith(name + "{"):
+            return float(line.rsplit(" ", 1)[1])
+    return 0.0

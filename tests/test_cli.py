@@ -265,3 +265,103 @@ def test_report_warns_on_records_without_metrics(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "warning: 1 record(s) without a usable metrics block" \
         in captured.err
+
+
+# -- the campaign service commands (serve / submit / store ls) ----------------
+
+
+def test_submit_against_embedded_service(tmp_path, capsys):
+    """`repro submit` round-trips through a live service: queue, wait,
+    resubmit as a cache hit."""
+    from repro.service import EmbeddedService, ServiceConfig
+
+    spec_path = _scenario_file(tmp_path)
+    config = ServiceConfig(store_path=str(tmp_path / "store.jsonl"), port=0)
+    with EmbeddedService(config) as (host, port):
+        rc = main(["submit", spec_path, "--host", host,
+                   "--port", str(port), "--wait"])
+        first = capsys.readouterr()
+        assert rc == 0
+        assert "job j1 queued (run)" in first.out
+        assert "job j1: done — 1/1 runs (0 cached, 0 failed)" in first.out
+
+        rc = main(["submit", spec_path, "--host", host,
+                   "--port", str(port), "--json"])
+        second = capsys.readouterr()
+        assert rc == 0
+        resp = json.loads(second.out)
+        assert resp["cached"] is True and resp["job"] is None
+
+
+def test_submit_campaign_resubmit_is_all_cached(tmp_path, capsys):
+    from repro.service import EmbeddedService, ServiceConfig
+
+    spec_path = _scenario_file(tmp_path)
+    config = ServiceConfig(store_path=str(tmp_path / "store.jsonl"), port=0)
+    with EmbeddedService(config) as (host, port):
+        args = ["submit", spec_path, "--host", host, "--port", str(port),
+                "--campaign", "2", "--wait", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["final"]["done"] == 2 and first["final"]["cached"] == 0
+
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cached_hint"] == 2
+        assert second["final"]["cached"] == 2
+        assert second["spec_keys"] == first["spec_keys"]
+
+
+def test_submit_unreachable_service_fails_cleanly(tmp_path, capsys):
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+    rc = main(["submit", _scenario_file(tmp_path), "--port", str(port)])
+    assert rc == 2
+    assert "unreachable" in capsys.readouterr().err
+
+
+def test_submit_unreadable_spec_is_usage_error(tmp_path, capsys):
+    rc = main(["submit", str(tmp_path / "missing.json")])
+    assert rc == 2
+    assert "cannot read spec" in capsys.readouterr().err
+
+
+def test_store_ls_renders_table_and_counters(tmp_path, capsys):
+    spec_path = _scenario_file(tmp_path)
+    store = tmp_path / "store.jsonl"
+    from repro.service import EmbeddedService, ServiceConfig
+
+    with EmbeddedService(ServiceConfig(store_path=str(store),
+                                       port=0)) as (host, port):
+        assert main(["submit", spec_path, "--host", host,
+                     "--port", str(port), "--wait"]) == 0
+    capsys.readouterr()
+
+    assert main(["store", "ls", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "store: " in out and "(1 result(s))" in out
+    assert "cli-mini" in out
+    assert "counters: hits 0, misses 0, puts 0, corrupt_lines 0" in out
+
+    assert main(["store", "ls", str(store), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert len(doc["entries"]) == 1
+    entry = doc["entries"][0]
+    assert entry["name"] == "cli-mini" and entry["ok"] is True
+    assert len(entry["spec_key"]) == 64
+
+
+def test_store_ls_missing_file_is_usage_error(tmp_path, capsys):
+    rc = main(["store", "ls", str(tmp_path / "nope.jsonl")])
+    assert rc == 2
+    assert "no store at" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_config(tmp_path, capsys):
+    rc = main(["serve", "--store", str(tmp_path / "s.jsonl"),
+               "--queue-max", "0"])
+    assert rc == 2
+    assert "queue-max" in capsys.readouterr().err
