@@ -38,6 +38,11 @@ Quickstart — the one-call front door (:func:`repro.run` /
     results = repro.sweep(spec, runs=8, workers=2)   # seed fan-out
     print(sum(r.ok for r in results), "of", len(results), "runs ok")
 
+    # any registered failure detector, by name (docs/detectors.md):
+    repro.run(repro.RunSpec(graph="ring:5", detector="trusting"))
+    matrix = repro.compare(graphs=("ring:6",), seeds=4)  # the lattice
+    print(matrix.render())
+
 Going deeper — driving the reduction machinery directly::
 
     from repro.experiments.common import build_system, wf_box
@@ -50,7 +55,7 @@ Going deeper — driving the reduction machinery directly::
     print(detectors["p"].suspects())   # ◇P output extracted from dining
 """
 
-from repro.api import run, sweep
+from repro.api import DetectorSpec, compare, run, sweep
 from repro.core import ExtractedDetector, ReductionPair, build_full_extraction
 from repro.dining import (
     DeferredExclusionDining,
@@ -82,6 +87,7 @@ __all__ = [
     "ConfigurationError",
     "CrashSchedule",
     "DeferredExclusionDining",
+    "DetectorSpec",
     "DinerState",
     "Engine",
     "EventuallyPerfectDetector",
@@ -104,6 +110,7 @@ __all__ = [
     "TrustingDetector",
     "WaitFreeEWXDining",
     "build_full_extraction",
+    "compare",
     "fanout_seeds",
     "run",
     "sweep",

@@ -167,6 +167,92 @@ def render_svg_timeline(
     return "\n".join(parts)
 
 
+#: Cell fills for the dominance grid, keyed by comparison symbol.
+_GRID_COLORS = {
+    "=": "#e8e8e8",
+    ">=": "#6aa06a",
+    "<=": "#a85448",
+    "||": "#ba9d49",
+}
+
+
+def render_svg_grid(
+    columns: Sequence[str],
+    rows: Sequence[str],
+    cells: Sequence[Sequence[str]],
+    title: str | None = None,
+    legend: Optional[Mapping[str, str]] = None,
+    cell_size: int = 56,
+    label_width: int = 190,
+) -> str:
+    """Render a symbol matrix (e.g. the lattice's ◇WX dominance grid) as
+    a standalone SVG document string.
+
+    ``cells[i][j]`` is the symbol for ``rows[i]`` vs ``columns[j]``;
+    symbols color via an internal palette (unknown symbols render grey).
+    ``legend`` maps symbols to descriptions, drawn under the grid.  Pure
+    string assembly, deterministic for fixed inputs.
+    """
+    if not rows or not columns:
+        raise ConfigurationError("empty grid")
+    if len(cells) != len(rows) or any(len(r) != len(columns) for r in cells):
+        raise ConfigurationError(
+            f"grid shape mismatch: {len(rows)}x{len(columns)} labels vs "
+            f"{[len(r) for r in cells]} cell rows")
+    top = 34 if title else 10
+    header_h = 70
+    grid_w = cell_size * len(columns)
+    legend_h = 16 * len(legend) + 10 if legend else 0
+    width = label_width + grid_w + 20
+    height = top + header_h + cell_size * len(rows) + legend_h + 16
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(title)}</text>')
+    # Rotated column headers.
+    for j, name in enumerate(columns):
+        x = label_width + j * cell_size + cell_size / 2
+        y = top + header_h - 8
+        parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="start" '
+            f'font-size="10" transform="rotate(-45 {x:.1f} {y:.1f})">'
+            f'{_esc(name)}</text>')
+    for i, row_name in enumerate(rows):
+        y = top + header_h + i * cell_size
+        parts.append(
+            f'<text x="{label_width - 8}" y="{y + cell_size / 2 + 4:.0f}" '
+            f'text-anchor="end" font-size="10">{_esc(row_name)}</text>')
+        for j, symbol in enumerate(cells[i]):
+            x = label_width + j * cell_size
+            fill = _GRID_COLORS.get(symbol, "#cccccc")
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell_size - 2}" '
+                f'height="{cell_size - 2}" fill="{fill}" '
+                f'fill-opacity="0.85" rx="3"/>')
+            parts.append(
+                f'<text x="{x + (cell_size - 2) / 2:.1f}" '
+                f'y="{y + cell_size / 2 + 4:.0f}" text-anchor="middle" '
+                f'font-weight="bold">{_esc(symbol)}</text>')
+    if legend:
+        ly = top + header_h + cell_size * len(rows) + 14
+        for k, (symbol, desc) in enumerate(legend.items()):
+            y = ly + 16 * k
+            fill = _GRID_COLORS.get(symbol, "#cccccc")
+            parts.append(
+                f'<rect x="{label_width}" y="{y - 10}" width="12" '
+                f'height="12" fill="{fill}" rx="2"/>')
+            parts.append(
+                f'<text x="{label_width + 18}" y="{y}" font-size="10">'
+                f'{_esc(symbol)} {_esc(desc)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
 def save_svg(svg: str, path: str | pathlib.Path) -> pathlib.Path:
     """Write an SVG document next to the experiment artifacts."""
     p = pathlib.Path(path)

@@ -1,9 +1,9 @@
-"""The one-call public API: ``repro.run`` and ``repro.sweep``.
+"""The one-call public API: ``repro.run``, ``repro.sweep``, ``repro.compare``.
 
-Everything the library can express — algorithm choice, oracle, topology,
-crash schedule, link faults, adversary, trace sink — is declared on a
-:class:`~repro.runtime.spec.RunSpec`; these two functions are the single
-front door for executing one:
+Everything the library can express — algorithm choice, failure detector,
+topology, crash schedule, link faults, adversary, trace sink — is
+declared on a :class:`~repro.runtime.spec.RunSpec`; these functions are
+the single front door for executing one:
 
 .. code-block:: python
 
@@ -14,6 +14,13 @@ front door for executing one:
     assert result.wait_freedom.ok
 
     results = repro.sweep(repro.RunSpec(graph="ring:4"), runs=16, workers=4)
+
+    # detector selection, by registry name (docs/detectors.md):
+    result = repro.run(repro.RunSpec(graph="ring:5", detector="trusting"))
+
+    # the cross-detector comparison lattice (CLI: repro lattice):
+    matrix = repro.compare(graphs=("ring:6",), seeds=4)
+    print(matrix.render())
 
 ``run`` executes one spec through the canonical runtime pipeline
 (build → simulate → judge) and returns the :class:`RunResult` envelope.
@@ -33,13 +40,14 @@ from dataclasses import replace
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.oracles.registry import DetectorSpec
 from repro.runtime.builder import execute
 from repro.runtime.executor import ParallelExecutor, RetryPolicy
 from repro.runtime.result import RunResult
 from repro.runtime.seeds import fanout_seeds
 from repro.runtime.spec import RunSpec
 
-__all__ = ["run", "sweep"]
+__all__ = ["DetectorSpec", "compare", "run", "sweep"]
 
 
 def _coerce_spec(spec: Union[RunSpec, Mapping]) -> RunSpec:
@@ -97,6 +105,19 @@ def sweep(spec: Union[RunSpec, Mapping],
     # rides along via a module-level partial-free wrapper per value.
     fn = _execute_checked if check else _execute_unchecked
     return executor.map(fn, shards)
+
+
+def compare(*args, **kwargs):
+    """Cross-detector comparison lattice — see
+    :func:`repro.lattice.compare.compare` for the full signature.
+
+    Re-exported here (and as ``repro.compare``) so the comparison
+    campaign is one import away from the public front door; imported
+    lazily to keep ``import repro`` light.
+    """
+    from repro.lattice import compare as _compare
+
+    return _compare(*args, **kwargs)
 
 
 def _execute_checked(spec: RunSpec) -> RunResult:

@@ -73,6 +73,15 @@ class ChaosConfig:
     #: to the algorithms (negative testing — expect failures).
     transport: bool = True
     oracle: str = "hb"
+    #: Which failure detector every run uses, by registry name
+    #: (:data:`repro.oracles.registry.REGISTRY`); the default keeps the
+    #: historical heartbeat ◇P.  The detector knob consumes no randomness
+    #: in :func:`build_run`, so two campaigns differing only in detector
+    #: face *identical* scenarios seed for seed — the property the
+    #: ``repro lattice`` comparison rests on.
+    detector: str = "eventually_perfect"
+    #: Per-detector parameter overrides (see the registry entry defaults).
+    detector_params: Mapping[str, Any] = field(default_factory=dict)
     #: Trace-sink mode for every run (``full`` | ``ring:N`` | ``counters``).
     #: ``counters`` retains no rows, so runs execute *unchecked* (metrics
     #: only — the mode long perf campaigns use); :func:`check_invariants`
@@ -103,6 +112,9 @@ class ChaosConfig:
         from repro.core.extraction import PairSelection
 
         PairSelection.parse(self.pairs)
+        from repro.oracles.registry import DetectorSpec
+
+        DetectorSpec(self.detector, dict(self.detector_params))
 
     def cli_flags(self) -> str:
         """The non-default flags needed to reproduce runs of this config."""
@@ -121,6 +133,8 @@ class ChaosConfig:
                 flags.append(f"{flag} {value}")
         if not self.transport:
             flags.append("--no-transport")
+        if self.detector != default.detector:
+            flags.append(f"--detector {self.detector}")
         if self.trace != default.trace:
             flags.append(f"--trace-sink {self.trace}")
         if self.pairs != default.pairs:
@@ -173,11 +187,15 @@ def build_run(run_seed: int, cfg: ChaosConfig) -> Scenario:
             "until": cfg.gst + 0.3 * cfg.max_time,
         }
 
+    # NB: the detector knobs are pure pass-through (no rng draws), so every
+    # scenario below is identical across detectors for a given run seed.
     return Scenario(
         name=f"chaos-{run_seed}",
         graph=graph_spec,
         algorithm=algorithm,
         oracle=cfg.oracle,
+        detector=cfg.detector,
+        detector_params=dict(cfg.detector_params),
         client=client,
         crashes=crashes,
         seed=int(run_seed),
@@ -238,6 +256,12 @@ class RunVerdict:
             "retransmissions": self.report.metrics.retransmissions,
             "exclusion_violations": (self.report.exclusion.count
                                      if self.report.checked else None),
+            # End of the latest exclusion violation (None when the run was
+            # unchecked or violation-free): the ◇WX quiet-suffix evidence
+            # the lattice verdict reads.
+            "last_violation_end": (
+                self.report.exclusion.last_violation_end
+                if self.report.checked else None),
             "max_hungry_wait": (round(self.report.wait_freedom.max_wait, 2)
                                 if self.report.checked else None),
             # Detector-quality telemetry (None when the obs knob is off).

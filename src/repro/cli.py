@@ -278,6 +278,7 @@ def _chaos_config(args) -> "ChaosConfig":
         max_time=args.max_time,
         transport=not args.no_transport,
         trace=args.trace_sink or "full",
+        detector=getattr(args, "detector", None) or "eventually_perfect",
         pairs=args.pairs,
         allow_disconnected=args.allow_disconnected,
         spans=bool(args.spans or args.spans_out is not None),
@@ -393,6 +394,62 @@ def cmd_chaos(args) -> int:
         if not args.json:
             print(f"{n} span records written to {args.spans_out}")
     return 0 if result.ok else 1
+
+
+def cmd_lattice(args) -> int:
+    """Run every registered detector through identical seeded chaos
+    campaigns and print the cross-detector comparison matrix."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.lattice import compare
+
+    for flag, value in (("--out", args.out), ("--svg-out", args.svg_out)):
+        err = _out_path_error(value, flag)
+        if err is not None:
+            return _fail_usage("repro lattice", err)
+    store, err = _open_store(args, "repro lattice")
+    if err is not None:
+        return err
+    try:
+        result = compare(
+            graphs=tuple(args.graphs), seeds=args.seeds, seed=args.seed,
+            detectors=args.detectors, workers=args.workers, store=store,
+            resume=args.resume, max_time=args.max_time, client=args.client,
+            drop_max=args.drop_max, pairs=args.pairs,
+            quiet_fraction=args.quiet_fraction)
+    except KeyboardInterrupt:
+        return _report_interrupt(args, store, "repro lattice")
+    except ReproError as exc:
+        print(f"repro lattice: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {"schema": "repro.lattice.v1",
+                   "graphs": list(result.graphs),
+                   "seeds": result.seeds,
+                   "seed": result.seed,
+                   "quiet_fraction": result.quiet_fraction,
+                   "records": result.to_records()}
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(result.render())
+    _report_store(args, store, "repro lattice")
+    if args.out is not None:
+        from repro.obs import write_jsonl
+
+        n = write_jsonl(args.out, result.to_records())
+        # Artifact notices go to stderr (the `repro timeline` convention)
+        # so stdout is exactly the matrix — byte-comparable across
+        # worker counts regardless of artifact paths.
+        print(f"{n} lattice records written to {args.out}",
+              file=sys.stderr)
+    if args.svg_out is not None:
+        from repro.analysis.svg import save_svg
+
+        save_svg(result.to_svg(), args.svg_out)
+        print(f"dominance grid written to {args.svg_out}",
+              file=sys.stderr)
+    return 0
 
 
 def cmd_report(path: str, as_json: bool = False,
@@ -820,6 +877,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="topology pool runs draw from (graph spec strings, "
                           "e.g. ring:4 rgg:100:0.2:7; default: small "
                           "rings/paths/stars)")
+    cha.add_argument("--detector", default=None, metavar="NAME",
+                     help="failure detector every run uses, by registry "
+                          "name (default eventually_perfect; see "
+                          "docs/detectors.md)")
     cha.add_argument("--pairs", default="all",
                      help="detector pair selection: all | neighbors | "
                           "neighbors:<k> (neighbors = conflict-graph-local "
@@ -829,6 +890,44 @@ def main(argv: Sequence[str] | None = None) -> int:
                           "monitored independently)")
     cha.add_argument("--json", action="store_true",
                      help="emit a machine-readable campaign summary")
+    lat = sub.add_parser("lattice", parents=[storep],
+                         help="compare every registered failure detector "
+                              "through identical seeded chaos campaigns "
+                              "(◇WX verdicts, convergence, churn, message "
+                              "cost, dominance grid; docs/detectors.md)")
+    lat.add_argument("--graphs", nargs="+", default=["ring:6"],
+                     metavar="SPEC",
+                     help="topology pool (graph spec strings; "
+                          "default ring:6)")
+    lat.add_argument("--seeds", type=int, default=4,
+                     help="seeded runs per detector (default 4)")
+    lat.add_argument("--seed", type=int, default=0,
+                     help="base seed the run seeds derive from (default 0)")
+    lat.add_argument("--detectors", nargs="+", default=None, metavar="NAME",
+                     help="registry names to compare (default: every "
+                          "registered detector)")
+    lat.add_argument("--workers", type=int, default=1,
+                     help="worker processes per campaign (default 1; "
+                          "output is byte-identical to serial)")
+    lat.add_argument("--max-time", type=float, default=600.0,
+                     help="virtual horizon per run (default 600)")
+    lat.add_argument("--client", default="periodic",
+                     help="workload client spec (default periodic)")
+    lat.add_argument("--drop-max", type=float, default=0.1,
+                     help="max per-run message drop probability "
+                          "(default 0.1)")
+    lat.add_argument("--pairs", default="all",
+                     help="detector pair selection: all | neighbors | "
+                          "neighbors:<k>")
+    lat.add_argument("--quiet-fraction", type=float, default=0.25,
+                     help="final run fraction that must be violation-free "
+                          "for the ◇WX verdict (default 0.25)")
+    lat.add_argument("--json", action="store_true",
+                     help="emit the full matrix as JSON")
+    lat.add_argument("--out", default=None, metavar="PATH",
+                     help="write repro.lattice.v1 JSONL records to PATH")
+    lat.add_argument("--svg-out", default=None, metavar="PATH",
+                     help="write the SVG dominance grid to PATH")
     tl = sub.add_parser("timeline",
                         help="render repro.span.v1 files (--spans-out) into "
                              "per-pair suspicion Gantt charts and a "
@@ -947,6 +1046,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                           prom_out=args.prom_out)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "lattice":
+        return cmd_lattice(args)
     if args.command == "timeline":
         return cmd_timeline(args)
     if args.command == "serve":

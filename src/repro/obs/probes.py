@@ -74,6 +74,15 @@ class RunProbes:
         self._converged_at: float = 0.0
         self._c_churn = registry.counter("oracle.suspicion_churn")
         self._c_wrongful = registry.counter("oracle.wrongful_suspicions")
+        # Per-detector-label breakdowns: a run may host several labeled
+        # suspicion streams (Ω's internal ◇P under "omega.sub", the flawed
+        # extraction's substrate under "flawed.sub"), and the lattice
+        # compares detectors by their *dining-facing* label only.  The
+        # unlabeled aggregates above keep their historical meaning (all
+        # labels summed).
+        self._c_churn_by: dict[str, object] = {}
+        self._c_wrongful_by: dict[str, object] = {}
+        self._converged_by: dict[str, float] = {}
         # Dining state.
         self._hungry_since: dict[tuple, "Time"] = {}
         self._c_hungry = registry.counter("dining.hungry_onsets")
@@ -106,12 +115,22 @@ class RunProbes:
 
     # -- oracle --------------------------------------------------------------
 
+    def _label_counter(self, cache: dict, name: str, label) -> "object":
+        key = str(label)
+        counter = cache.get(key)
+        if counter is None:
+            counter = cache[key] = self.registry.counter(name, detector=key)
+        return counter
+
     def _on_suspect(self, rec: "TraceRecord") -> None:
         owner = rec.pid
-        key = (owner, rec.get("target"), rec.get("detector"))
+        label = rec.get("detector")
+        key = (owner, rec.get("target"), label)
         suspected = bool(rec.get("suspected"))
         if not rec.get("initial"):
             self._c_churn.inc()
+            self._label_counter(self._c_churn_by, "oracle.suspicion_churn",
+                                label).inc()
         self._suspected[key] = suspected
         if suspected:
             # An onset is wrongful when the target has not crashed yet —
@@ -120,6 +139,9 @@ class RunProbes:
             # repro.oracles.properties.false_positive_count).
             if key[1] not in self._crashed:
                 self._c_wrongful.inc()
+                self._label_counter(self._c_wrongful_by,
+                                    "oracle.wrongful_suspicions",
+                                    label).inc()
                 self._last_wrongful_onset = max(self._last_wrongful_onset,
                                                 rec.time)
                 self._wrongful_open[key] = rec.time
@@ -133,6 +155,9 @@ class RunProbes:
         self._stabilized_at[owner] = max(self._stabilized_at.get(owner, 0.0),
                                          float(t))
         self._converged_at = max(self._converged_at, float(t))
+        label = str(key[2])
+        self._converged_by[label] = max(self._converged_by.get(label, 0.0),
+                                        float(t))
 
     def _on_crash(self, pid: "ProcessId", t: "Time") -> None:
         self._crashed[pid] = t
@@ -179,6 +204,21 @@ class RunProbes:
         reg.gauge("oracle.last_wrongful_onset").set(self._last_wrongful_onset)
         if self.converged:
             reg.gauge("oracle.converged_at").set(self._converged_at)
+        # Per-label convergence: a label converged iff none of *its*
+        # wrongful intervals are still open — the per-detector verdict the
+        # lattice matrix reads even when another label in the same run
+        # (e.g. a substrate) is still wrong.
+        open_by: dict[str, int] = {}
+        for key in self._wrongful_open:
+            open_by[str(key[2])] = open_by.get(str(key[2]), 0) + 1
+        labels = (set(self._c_wrongful_by) | set(self._converged_by)
+                  | set(open_by))
+        for label in sorted(labels):
+            n_open = open_by.get(label, 0)
+            reg.gauge("oracle.wrongful_open", detector=label).set(n_open)
+            if n_open == 0:
+                reg.gauge("oracle.converged_at", detector=label).set(
+                    self._converged_by.get(label, 0.0))
         for owner in sorted(self._stabilized_at):
             reg.gauge("oracle.stabilized_at",
                       process=str(owner)).set(self._stabilized_at[owner])

@@ -27,18 +27,37 @@ each class's completeness/accuracy on recorded runs.
 from repro.oracles.base import OracleModule, attach_detectors
 from repro.oracles.eventually_perfect import EventuallyPerfectDetector
 from repro.oracles.eventually_strong import EventuallyStrongDetector
-from repro.oracles.omega import OmegaElector
+from repro.oracles.omega import OmegaDetector, OmegaElector
 from repro.oracles.perfect import PerfectDetector
+from repro.oracles.properties import DetectorAssumptions
+from repro.oracles.registry import (
+    DEFAULT_DETECTOR,
+    REGISTRY,
+    DetectorEntry,
+    DetectorSpec,
+    detector_kind_help,
+    install_detector,
+    resolve_detector,
+)
 from repro.oracles.strong import StrongDetector
 from repro.oracles.trusting import TrustingDetector
 
 __all__ = [
+    "DEFAULT_DETECTOR",
+    "DetectorAssumptions",
+    "DetectorEntry",
+    "DetectorSpec",
     "EventuallyPerfectDetector",
     "EventuallyStrongDetector",
+    "OmegaDetector",
     "OmegaElector",
     "OracleModule",
     "PerfectDetector",
+    "REGISTRY",
     "StrongDetector",
     "TrustingDetector",
     "attach_detectors",
+    "detector_kind_help",
+    "install_detector",
+    "resolve_detector",
 ]

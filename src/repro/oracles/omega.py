@@ -46,3 +46,27 @@ class OmegaElector(Component):
         if new != self._leader:
             self._leader = new
             self.record("leader", leader=new)
+
+
+class OmegaDetector(OracleModule):
+    """Ω exposed through the suspect-list API: suspect every non-leader.
+
+    This is the *most* information the Ω specification guarantees — a
+    single eventually-agreed correct leader — repackaged as an oracle
+    module so leader election can drive the dining stack through the same
+    ``suspected(q)`` surface as any other detector.  Two correct
+    neighbors that are both non-leaders suspect each other forever, which
+    is exactly why Ω ranks below ◇P for wait-free dining under ◇WX in the
+    ``repro lattice`` comparison: the Ω property holds while the dining
+    run keeps violating exclusion.
+    """
+
+    def __init__(self, name: str, monitored, elector: OmegaElector) -> None:
+        super().__init__(name, monitored, initially_suspect=False)
+        self.elector = elector
+
+    @action(guard=lambda self: True)
+    def refresh(self) -> None:
+        leader = self.elector.leader
+        for q in self.monitored:
+            self.set_suspected(q, q != leader)

@@ -181,20 +181,20 @@ def check_perpetual_strong_accuracy(
     targets: Iterable[ProcessId],
     schedule: CrashSchedule,
     detector: str | None = None,
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None = None,
 ) -> OracleReport:
-    """No target is ever suspected before it crashes (the P accuracy)."""
+    """No target is ever suspected before it crashes (the P accuracy;
+    ``pairs`` restricts the monitoring relation under local selection)."""
     report = OracleReport("perpetual strong accuracy")
-    owners = [o for o in owners if not schedule.is_faulty(o)]
-    for owner in owners:
-        for target in targets:
-            if target == owner:
-                continue
-            mistakes = false_positive_count(trace, owner, target, schedule, detector)
-            ok = mistakes == 0
-            report.pairs.append(
-                PairVerdict(owner, target, ok, 0.0 if ok else None,
-                            "" if ok else f"{mistakes} premature suspicions")
-            )
+    for owner, target in _monitoring_pairs(owners, targets, pairs):
+        if schedule.is_faulty(owner):
+            continue
+        mistakes = false_positive_count(trace, owner, target, schedule, detector)
+        ok = mistakes == 0
+        report.pairs.append(
+            PairVerdict(owner, target, ok, 0.0 if ok else None,
+                        "" if ok else f"{mistakes} premature suspicions")
+        )
     return report
 
 
@@ -204,15 +204,13 @@ def check_trusting_accuracy(
     targets: Iterable[ProcessId],
     schedule: CrashSchedule,
     detector: str | None = None,
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None = None,
 ) -> OracleReport:
     """The T accuracy (paper Section 9): (a) every correct target eventually
     permanently trusted; (b) any trust revocation implies a real crash."""
     report = OracleReport("trusting accuracy")
-    owners = [o for o in owners if not schedule.is_faulty(o)]
-    for owner in owners:
-        for target in targets:
-            if target == owner:
-                continue
+    for owner, target in _monitoring_pairs(owners, targets, pairs):
+        if not schedule.is_faulty(owner):
             series = suspicion_series(trace, owner, target, detector)
             ok = True
             conv: Optional[Time] = None
@@ -235,12 +233,24 @@ def check_trusting_accuracy(
     return report
 
 
+def _owners_of(
+    target: ProcessId,
+    owners: Sequence[ProcessId],
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None,
+) -> list[ProcessId]:
+    """The owners whose module monitors ``target`` under ``pairs``."""
+    if pairs is None:
+        return [o for o in owners if o != target]
+    return [o for o, t in pairs if t == target and o != target]
+
+
 def check_perpetual_weak_accuracy(
     trace: Trace,
     owners: Sequence[ProcessId],
     targets: Sequence[ProcessId],
     schedule: CrashSchedule,
     detector: str | None = None,
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None = None,
 ) -> tuple[bool, Optional[ProcessId]]:
     """The S accuracy: some correct target is never suspected by any owner.
 
@@ -252,11 +262,211 @@ def check_perpetual_weak_accuracy(
             continue
         if all(
             not any(s for _, s in suspicion_series(trace, o, target, detector))
-            for o in live_owners
-            if o != target
+            for o in _owners_of(target, live_owners, pairs)
         ):
             return True, target
     return False, None
+
+
+def check_eventual_weak_accuracy(
+    trace: Trace,
+    owners: Sequence[ProcessId],
+    targets: Sequence[ProcessId],
+    schedule: CrashSchedule,
+    detector: str | None = None,
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None = None,
+) -> tuple[bool, Optional[ProcessId]]:
+    """The ◇S accuracy: some correct target is *eventually* never suspected
+    by any correct owner that monitors it.
+
+    Returns ``(ok, witness_target)``.
+    """
+    live_owners = [o for o in owners if not schedule.is_faulty(o)]
+    for target in targets:
+        if schedule.is_faulty(target):
+            continue
+        if all(
+            convergence_time(
+                suspicion_series(trace, o, target, detector),
+                lambda s: not s) is not None
+            for o in _owners_of(target, live_owners, pairs)
+        ):
+            return True, target
+    return False, None
+
+
+def leader_series(
+    trace: Trace,
+    owner: ProcessId,
+) -> list[tuple[Time, ProcessId]]:
+    """Time-ordered leader estimates of ``owner`` (the ``"leader"`` rows
+    :class:`~repro.oracles.omega.OmegaElector` records)."""
+    return [(r.time, r["leader"]) for r in trace.records(kind="leader",
+                                                         pid=owner)]
+
+
+def check_leader_agreement(
+    trace: Trace,
+    pids: Sequence[ProcessId],
+    schedule: CrashSchedule,
+) -> OracleReport:
+    """The Ω specification: eventually every correct process permanently
+    elects the same correct leader.
+
+    Per correct owner, the verdict pair is ``(owner, final_leader)``; the
+    convergence time is the owner's last estimate change.  Fails when an
+    owner has no leader records (Ω was not running), its final leader is
+    faulty, or two correct owners disagree at the end of the run.
+    """
+    report = OracleReport("leader agreement")
+    finals: dict[ProcessId, ProcessId] = {}
+    for owner in pids:
+        if schedule.is_faulty(owner):
+            continue
+        series = leader_series(trace, owner)
+        if not series:
+            report.pairs.append(PairVerdict(
+                owner, owner, False, None, "no leader records"))
+            continue
+        t, leader = series[-1]
+        finals[owner] = leader
+        ok = not schedule.is_faulty(leader)
+        detail = "" if ok else f"final leader {leader} is faulty"
+        report.pairs.append(PairVerdict(owner, leader, ok, t, detail))
+    if len(set(finals.values())) > 1:
+        disagree = ", ".join(f"{o}->{l}" for o, l in sorted(finals.items()))
+        report.pairs.append(PairVerdict(
+            "*", "*", False, None, f"correct processes disagree: {disagree}"))
+    return report
+
+
+# -- detector-specific battery dispatch ---------------------------------------
+
+
+@dataclass(frozen=True)
+class DetectorAssumptions:
+    """Which completeness/accuracy battery a detector class is judged by.
+
+    Historically the runtime judged every run against ◇P's expectations
+    (eventual strong accuracy + strong completeness on the ``"boxfd"``
+    label).  These assumptions are now *parameters*, sourced from the
+    detector registry entry of the run's
+    :class:`~repro.oracles.registry.DetectorSpec`, so an S or ◇S run is
+    verified against its own specification instead of ◇P's.
+
+    ``accuracy`` is one of :data:`ACCURACY_PROPERTIES`; ``completeness``
+    is ``"strong"`` or ``"none"``; ``label`` restricts the checkers to
+    ``"suspect"`` rows of that detector.
+    """
+
+    accuracy: str = "eventual_strong"
+    completeness: str = "strong"
+    label: Optional[str] = "boxfd"
+
+    def __post_init__(self) -> None:
+        if self.accuracy not in ACCURACY_PROPERTIES:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown accuracy property {self.accuracy!r} (one of: "
+                f"{', '.join(sorted(ACCURACY_PROPERTIES))})")
+        if self.completeness not in ("strong", "none"):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown completeness property {self.completeness!r} "
+                "(strong | none)")
+
+
+@dataclass(frozen=True)
+class DetectorVerdicts:
+    """The two-bit outcome of :func:`check_detector_properties`."""
+
+    accuracy_ok: bool
+    completeness_ok: bool
+    accuracy_property: str
+    accuracy_detail: str = ""
+    completeness_detail: str = ""
+
+
+def _acc_eventual_strong(trace, pids, schedule, label, pairs):
+    report = check_eventual_strong_accuracy(trace, pids, pids, schedule,
+                                            detector=label, pairs=pairs)
+    return report.ok, "" if report.ok else report.failures()[0].detail
+
+
+def _acc_perpetual_strong(trace, pids, schedule, label, pairs):
+    report = check_perpetual_strong_accuracy(trace, pids, pids, schedule,
+                                             detector=label, pairs=pairs)
+    return report.ok, "" if report.ok else report.failures()[0].detail
+
+
+def _acc_trusting(trace, pids, schedule, label, pairs):
+    report = check_trusting_accuracy(trace, pids, pids, schedule,
+                                     detector=label, pairs=pairs)
+    return report.ok, "" if report.ok else report.failures()[0].detail
+
+
+def _acc_perpetual_weak(trace, pids, schedule, label, pairs):
+    ok, witness = check_perpetual_weak_accuracy(trace, pids, pids, schedule,
+                                                detector=label, pairs=pairs)
+    return ok, (f"witness {witness}" if ok
+                else "every correct process was suspected at some point")
+
+
+def _acc_eventual_weak(trace, pids, schedule, label, pairs):
+    ok, witness = check_eventual_weak_accuracy(trace, pids, pids, schedule,
+                                               detector=label, pairs=pairs)
+    return ok, (f"witness {witness}" if ok
+                else "no correct process is eventually trusted by all")
+
+
+def _acc_leader_agreement(trace, pids, schedule, label, pairs):
+    report = check_leader_agreement(trace, pids, schedule)
+    return report.ok, "" if report.ok else report.failures()[0].detail
+
+
+#: Accuracy-property dispatch: what a :class:`DetectorAssumptions` may name.
+ACCURACY_PROPERTIES = {
+    "eventual_strong": _acc_eventual_strong,
+    "perpetual_strong": _acc_perpetual_strong,
+    "trusting": _acc_trusting,
+    "perpetual_weak": _acc_perpetual_weak,
+    "eventual_weak": _acc_eventual_weak,
+    "leader_agreement": _acc_leader_agreement,
+}
+
+
+def check_detector_properties(
+    trace: Trace,
+    pids: Sequence[ProcessId],
+    schedule: CrashSchedule,
+    assumptions: DetectorAssumptions,
+    pairs: Iterable[tuple[ProcessId, ProcessId]] | None = None,
+) -> DetectorVerdicts:
+    """Judge a run's oracle against *its own* class specification.
+
+    The runtime calls this from ``execute`` with the assumptions of the
+    spec's registered detector, so the ``oracle_accuracy_ok`` /
+    ``oracle_completeness_ok`` verdict fields always mean "satisfied what
+    this detector class promises" — ◇P runs keep the historical battery
+    bit for bit.
+    """
+    pairs = None if pairs is None else list(pairs)
+    acc_ok, acc_detail = ACCURACY_PROPERTIES[assumptions.accuracy](
+        trace, list(pids), schedule, assumptions.label, pairs)
+    if assumptions.completeness == "none":
+        comp_ok, comp_detail = True, "not required"
+    else:
+        report = check_strong_completeness(trace, pids, pids, schedule,
+                                           detector=assumptions.label,
+                                           pairs=pairs)
+        comp_ok = report.ok
+        comp_detail = "" if comp_ok else report.failures()[0].detail
+    return DetectorVerdicts(
+        accuracy_ok=bool(acc_ok), completeness_ok=bool(comp_ok),
+        accuracy_property=assumptions.accuracy,
+        accuracy_detail=acc_detail, completeness_detail=comp_detail)
 
 
 def false_positive_count(

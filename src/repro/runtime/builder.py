@@ -37,13 +37,16 @@ from repro.dining.spec import check_exclusion, check_wait_freedom, state_series
 from repro.dining.wf_ewx import WaitFreeEWXDining
 from repro.errors import ConfigurationError, SimulationError
 from repro.graphs import validate_conflict_graph
-from repro.oracles import EventuallyPerfectDetector, attach_detectors
-from repro.oracles.base import OracleModule
-from repro.oracles.perfect import PerfectDetector
 from repro.oracles.properties import (
-    check_eventual_strong_accuracy,
-    check_strong_completeness,
+    DetectorAssumptions,
+    check_detector_properties,
     suspected_at,
+)
+from repro.oracles.registry import (
+    BOX_LABEL,
+    DetectorSpec,
+    InstallContext,
+    install_detector,
 )
 from repro.runtime.result import RunResult
 from repro.runtime.spec import RunSpec, parse_graph
@@ -68,9 +71,20 @@ class System:
     engine: Engine
     pids: list[ProcessId]
     schedule: CrashSchedule
-    box_modules: dict[ProcessId, OracleModule]
+    #: ``pid ->`` the dining-facing detector (an
+    #: :class:`~repro.oracles.base.OracleModule` or an extraction facade —
+    #: anything with the ``suspected(q)`` query API).
+    box_modules: dict[ProcessId, Any]
     provider: SuspicionProvider
     transport: "ReliableTransport | None" = None
+    #: The ``detector=`` label the dining-facing ``"suspect"`` trace rows
+    #: carry (``boxfd`` for native modules; ``omega`` / ``flawed`` for the
+    #: derived ones).
+    detector_label: str = BOX_LABEL
+    #: The property battery this run's detector claims — what ``execute``
+    #: judges the trace against.
+    assumptions: DetectorAssumptions = field(
+        default_factory=DetectorAssumptions)
 
 
 def build_system(
@@ -92,10 +106,16 @@ def build_system(
     obs: bool = True,
     spans: bool = False,
     peers_of: Mapping[ProcessId, Sequence[ProcessId]] | None = None,
+    detector: "DetectorSpec | str | None" = None,
 ) -> System:
-    """Engine + per-process box-internal oracle (``"hb"`` heartbeat ◇P or
-    ``"perfect"`` P substrate) + the suspicion provider dining boxes use.
+    """Engine + per-process box-internal oracle + the suspicion provider
+    dining boxes use.
 
+    ``detector`` selects the oracle from the registry
+    (:data:`repro.oracles.registry.REGISTRY`) — a :class:`DetectorSpec`, a
+    bare registry name, or ``None`` to map the legacy ``oracle`` knob
+    (``"hb"`` heartbeat ◇P with this function's ``heartbeat_period`` /
+    ``initial_timeout``, or the ``"perfect"`` P substrate).
     ``delay_model`` overrides the default GST channel model (e.g. to wrap
     it in adversarial :class:`~repro.sim.adversary.TargetedDelays`).
     ``fault_model`` makes the wire fair-lossy; pass ``transport=True`` (or
@@ -106,6 +126,14 @@ def build_system(
     each process's oracle module to an explicit peer list
     (conflict-graph-local monitoring); default is all-to-all.
     """
+    if detector is None:
+        spec = DetectorSpec.from_legacy_oracle(
+            oracle, heartbeat_period=heartbeat_period,
+            initial_timeout=initial_timeout, seed=seed)
+    elif isinstance(detector, str):
+        spec = DetectorSpec(detector, seed=seed)
+    else:
+        spec = detector
     schedule = crash or CrashSchedule.none()
     engine = Engine(
         SimConfig(seed=seed, max_time=max_time, trace_sink=trace_sink,
@@ -121,31 +149,19 @@ def build_system(
         installed = ReliableTransport(policy).install(engine)
     for pid in pids:
         engine.add_process(pid)
-    if oracle == "hb":
-        modules = attach_detectors(
-            engine, list(pids),
-            lambda o, peers: EventuallyPerfectDetector(
-                "boxfd", peers, heartbeat_period=heartbeat_period,
-                initial_timeout=initial_timeout),
-            peers_of=peers_of,
-        )
-    elif oracle == "perfect":
-        modules = attach_detectors(
-            engine, list(pids),
-            lambda o, peers: PerfectDetector("boxfd", peers, schedule,
-                                             latency=5.0),
-            peers_of=peers_of,
-        )
-    else:
-        raise ConfigurationError(
-            f"unknown oracle kind {oracle!r} (use hb | perfect)")
+    modules = install_detector(spec, InstallContext(
+        engine=engine, pids=list(pids), schedule=schedule,
+        peers_of=peers_of, seed=seed))
 
     def provider(pid: ProcessId):
         module = modules[pid]
         return lambda q: module.suspected(q)
 
+    entry = spec.entry
     return System(engine=engine, pids=list(pids), schedule=schedule,
-                  box_modules=modules, provider=provider, transport=installed)
+                  box_modules=modules, provider=provider,
+                  transport=installed, detector_label=entry.label,
+                  assumptions=entry.assumptions)
 
 
 # -- declarative pieces -------------------------------------------------------
@@ -287,7 +303,8 @@ def instantiate(spec: RunSpec) -> BuiltRun:
             **{k: float(v) for k, v in use_transport.items()})
     system = build_system(
         pids, seed=spec.seed, gst=spec.gst, max_time=spec.max_time,
-        crash=CrashSchedule(dict(spec.crashes)), oracle=spec.oracle,
+        crash=CrashSchedule(dict(spec.crashes)),
+        detector=spec.detector_spec(),
         delay_model=build_delay_model(spec), fault_model=fault_model,
         transport=use_transport, trace_sink=spec.trace,
         record_messages=spec.record_messages, obs=spec.obs,
@@ -309,7 +326,7 @@ def instantiate(spec: RunSpec) -> BuiltRun:
                     instance=instance, diners=diners, monitors=monitors)
 
 
-def _violation_justified(trace, violation) -> bool:
+def _violation_justified(trace, violation, detector: str = BOX_LABEL) -> bool:
     """Did either endpoint's current eating session begin under suspicion
     of the other?  (The ◇WX mechanism: simultaneous eating is only ever
     enabled by an oracle mistake.)
@@ -318,12 +335,12 @@ def _violation_justified(trace, violation) -> bool:
         begins = [t for t, s in state_series(trace, INSTANCE, eater)
                   if s == DinerState.EATING.value and t <= violation.start]
         if begins and suspected_at(trace, eater, peer, max(begins),
-                                   detector="boxfd"):
+                                   detector=detector):
             return True
     return False
 
 
-def justify_violations(trace, violations) -> bool:
+def justify_violations(trace, violations, detector: str = BOX_LABEL) -> bool:
     """Check every exclusion violation is oracle-justified.
 
     Fails loudly rather than silently mis-judging on truncated traces: a
@@ -341,7 +358,7 @@ def justify_violations(trace, violations) -> bool:
             f"{trace.total_recorded} records, so session-start/suspicion "
             "evidence may be gone — rerun with trace='full'"
         )
-    return all(_violation_justified(trace, v) for v in violations)
+    return all(_violation_justified(trace, v, detector) for v in violations)
 
 
 def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
@@ -388,12 +405,16 @@ def execute(spec: RunSpec, check: Optional[bool] = None) -> RunResult:
                                        eng.now, schedule)
     # Under local pair selection only the monitored relation is checked —
     # an unmonitored pair has no suspicion series and proves nothing.
-    result.oracle_accuracy_ok = check_eventual_strong_accuracy(
-        eng.trace, pids, pids, schedule, detector="boxfd",
-        pairs=built.monitors).ok
-    result.oracle_completeness_ok = check_strong_completeness(
-        eng.trace, pids, pids, schedule, detector="boxfd",
-        pairs=built.monitors).ok
-    result.violations_justified = justify_violations(eng.trace,
-                                                     exclusion.violations)
+    # The battery judged is the one the spec's detector *claims*
+    # (System.assumptions), so S/◇S substrates aren't graded against ◇P
+    # expectations — and flawed_cm, which claims ◇P's battery, visibly
+    # fails it.
+    verdicts = check_detector_properties(
+        eng.trace, pids, schedule, built.system.assumptions,
+        pairs=built.monitors)
+    result.oracle_accuracy_ok = verdicts.accuracy_ok
+    result.oracle_completeness_ok = verdicts.completeness_ok
+    result.violations_justified = justify_violations(
+        eng.trace, exclusion.violations,
+        detector=built.system.detector_label)
     return result

@@ -128,6 +128,32 @@ class RunResult:
         return None if self.obs is None \
             else int(self.obs.counter_value("oracle.suspicion_churn"))
 
+    def detector_stats(self, label: str) -> Optional[dict[str, Any]]:
+        """Per-detector-label probe readings for one suspicion stream.
+
+        A run may host several labeled streams (the dining-facing
+        detector plus e.g. Ω's internal ◇P under ``omega.sub``); the
+        lattice compares detectors by their dining-facing label only.
+        Returns None when obs was off.
+        """
+        if self.obs is None:
+            return None
+        from repro.obs.registry import escape_label_value
+
+        suffix = '{detector="' + escape_label_value(label) + '"}'
+        open_gauge = self.obs.gauge_value("oracle.wrongful_open" + suffix)
+        return {
+            "detector": label,
+            "wrongful_suspicions": int(self.obs.counter_value(
+                "oracle.wrongful_suspicions" + suffix)),
+            "suspicion_churn": int(self.obs.counter_value(
+                "oracle.suspicion_churn" + suffix)),
+            "wrongful_open": (None if open_gauge is None
+                              else int(open_gauge)),
+            "converged_at": self.obs.gauge_value(
+                "oracle.converged_at" + suffix),
+        }
+
     def summary(self) -> dict[str, Any]:
         """Flat, JSON-serializable digest used by determinism comparisons.
 

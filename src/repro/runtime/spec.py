@@ -121,6 +121,11 @@ class RunSpec:
     name: str = "run"
     graph: str = "ring:4"
     algorithm: str = "wf-ewx"
+    #: Deprecated spelling of the detector choice (``hb`` | ``perfect``).
+    #: Kept for stored-spec compatibility; any non-default value raises a
+    #: DeprecationWarning pointing at ``detector=`` and maps onto the
+    #: registry (``hb`` → ``eventually_perfect``, ``perfect`` →
+    #: ``perfect``).  New specs should leave it alone.
     oracle: str = "hb"
     client: str = "eager:2"
     crashes: Mapping[str, float] = field(default_factory=dict)
@@ -173,6 +178,17 @@ class RunSpec:
     #: independently).  Off by default: a disconnected topology is usually
     #: an accident (an RGG radius set too low).
     allow_disconnected: bool = False
+    #: Which failure detector drives the run, by registry name
+    #: (:data:`repro.oracles.registry.REGISTRY`): ``eventually_perfect`` |
+    #: ``eventually_strong`` | ``strong`` | ``perfect`` | ``trusting`` |
+    #: ``omega`` | ``flawed_cm``.  The default is the historical heartbeat
+    #: ◇P, bit-identical to pre-registry runs (golden traces pin it).
+    detector: str = "eventually_perfect"
+    #: Per-detector parameter overrides (e.g. ``{"initial_timeout": 20}``
+    #: for ◇P, ``{"box": "deferred:150"}`` for ``flawed_cm``); unknown
+    #: keys fail eagerly naming the accepted ones.  Defaults come from the
+    #: registry entry.
+    detector_params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         """Eager validation: a malformed spec fails at construction with a
@@ -198,6 +214,25 @@ class RunSpec:
         if self.oracle not in ("hb", "perfect"):
             raise ConfigurationError(
                 f"unknown oracle kind {self.oracle!r} (use hb | perfect)")
+        # Detector name/params are owned by the oracle registry; eager
+        # validation here means an unknown detector or parameter fails at
+        # spec construction with the full registry enumerated.
+        from repro.oracles.registry import DEFAULT_DETECTOR, DetectorSpec
+
+        if self.oracle != "hb":
+            if self.detector != DEFAULT_DETECTOR or self.detector_params:
+                raise ConfigurationError(
+                    f"oracle={self.oracle!r} conflicts with "
+                    f"detector={self.detector!r}; the oracle knob is "
+                    "deprecated — set detector/detector_params only")
+            import warnings
+
+            warnings.warn(
+                f"RunSpec.oracle={self.oracle!r} is deprecated; use "
+                f"detector={'perfect' if self.oracle == 'perfect' else self.detector!r} "
+                "(see repro.DetectorSpec and docs/detectors.md)",
+                DeprecationWarning, stacklevel=3)
+        DetectorSpec(self.detector, dict(self.detector_params))
         # Pair-selection grammar is owned by PairSelection.parse.
         from repro.core.extraction import PairSelection
 
@@ -207,6 +242,17 @@ class RunSpec:
         from repro.sim.sinks import make_sink
 
         make_sink(self.trace)
+
+    def detector_spec(self) -> "Any":
+        """Resolve the spec's detector fields into a registry
+        :class:`~repro.oracles.registry.DetectorSpec` (legacy ``oracle``
+        values map through ``DetectorSpec.from_legacy_oracle``)."""
+        from repro.oracles.registry import DetectorSpec
+
+        if self.oracle != "hb":
+            return DetectorSpec.from_legacy_oracle(self.oracle, seed=self.seed)
+        return DetectorSpec(self.detector, dict(self.detector_params),
+                            seed=self.seed)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":

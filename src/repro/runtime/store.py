@@ -50,7 +50,13 @@ STORE_SCHEMA = "repro.store.v1"
 #: Version salt mixed into every spec hash: bump when RunSpec semantics
 #: change incompatibly, so stale stores miss instead of serving results
 #: computed under different rules.
-SPEC_HASH_VERSION = "repro.spec.v3"  # v3: spans knob
+SPEC_HASH_VERSION = "repro.spec.v4"  # v4: detector registry fields
+
+#: The salt default-detector specs keep hashing under.  A spec that does
+#: not select a non-default detector is semantically identical to its
+#: pre-registry form, so its hash must not move — stores written before
+#: the detector fields existed stay cache hits.
+_PRE_DETECTOR_VERSION = "repro.spec.v3"  # v3: spans knob
 
 
 def canonical_spec(spec: RunSpec) -> dict[str, Any]:
@@ -65,8 +71,24 @@ def spec_hash(spec: RunSpec) -> str:
     Two equal specs hash equally regardless of construction path
     (``RunSpec`` vs ``Scenario``, JSON vs kwargs), and the hash is stable
     across processes, machines, and worker counts.
+
+    Compatibility: a spec on the default detector with no parameter
+    overrides hashes exactly as it did before the registry fields existed
+    (the detector fields are dropped and the pre-registry version salt is
+    used), so stored results keyed under ``repro.spec.v3`` keep serving as
+    cache hits.  Selecting any other detector — or overriding parameters —
+    changes the simulated run, so those fields join the payload under the
+    ``repro.spec.v4`` salt and the key moves.
     """
-    payload = {"version": SPEC_HASH_VERSION, "spec": canonical_spec(spec)}
+    fields = canonical_spec(spec)
+    if (fields.get("detector") == "eventually_perfect"
+            and not fields.get("detector_params")):
+        fields.pop("detector", None)
+        fields.pop("detector_params", None)
+        version = _PRE_DETECTOR_VERSION
+    else:
+        version = SPEC_HASH_VERSION
+    payload = {"version": version, "spec": fields}
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                       default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

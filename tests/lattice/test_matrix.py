@@ -1,0 +1,180 @@
+"""Unit tests for the lattice matrix layer, on synthetic run records."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lattice.matrix import (
+    EQ,
+    GE,
+    INCOMPARABLE,
+    LATTICE_SCHEMA,
+    LE,
+    DetectorRow,
+    LatticeCell,
+    LatticeResult,
+    cell_from_record,
+    dominance_symbol,
+)
+
+
+def run_record(*, violations=0, last_violation_end=None, justified=True,
+               checked=True, end_time=1000.0, label="boxfd",
+               wrongful=0, churn=0, converged=None, seed=7,
+               graph="ring:6", accuracy=True):
+    """A minimal repro.run.v1-shaped record for cell_from_record."""
+    counters = {}
+    gauges = {}
+    if wrongful:
+        counters[f'oracle.wrongful_suspicions{{detector="{label}"}}'] = wrongful
+        counters[f'oracle.suspicion_churn{{detector="{label}"}}'] = churn
+    if converged is not None:
+        gauges[f'oracle.converged_at{{detector="{label}"}}'] = converged
+    return {
+        "summary": {
+            "checked": checked,
+            "seed": seed,
+            "end_time": end_time,
+            "wait_free": True,
+            "exclusion_violations": violations,
+            "violations_justified": justified,
+            "oracle_accuracy_ok": accuracy,
+            "oracle_completeness_ok": True,
+            "messages_sent": 100,
+        },
+        "verdict": {
+            "run_seed": seed,
+            "graph": graph,
+            "last_violation_end": last_violation_end,
+        },
+        "metrics": {"counters": counters, "gauges": gauges},
+    }
+
+
+class TestCellVerdict:
+    def test_clean_run_passes(self):
+        cell = cell_from_record("d", "boxfd", run_record())
+        assert cell.ewx_ok and cell.converged_at == 0.0
+
+    def test_early_justified_violations_pass(self):
+        # Violations that stop well before the horizon are the ◇WX shape.
+        cell = cell_from_record("d", "boxfd", run_record(
+            violations=3, last_violation_end=200.0))
+        assert cell.ewx_ok
+
+    def test_violation_in_quiet_suffix_fails(self):
+        cell = cell_from_record("d", "boxfd", run_record(
+            violations=3, last_violation_end=900.0))
+        assert not cell.ewx_ok
+
+    def test_quiet_fraction_is_tunable(self):
+        rec = run_record(violations=1, last_violation_end=600.0)
+        assert cell_from_record("d", "boxfd", rec).ewx_ok
+        assert not cell_from_record("d", "boxfd", rec,
+                                    quiet_fraction=0.5).ewx_ok
+
+    def test_unjustified_violations_fail_even_when_quiet(self):
+        cell = cell_from_record("d", "boxfd", run_record(
+            violations=1, last_violation_end=100.0, justified=False))
+        assert not cell.ewx_ok
+
+    def test_unchecked_run_never_passes(self):
+        cell = cell_from_record("d", "boxfd", run_record(checked=False))
+        assert not cell.ewx_ok
+
+    def test_pre_lattice_record_without_quiet_evidence_is_not_quiet(self):
+        # Old stored verdicts lack last_violation_end: a violating run
+        # must not silently pass the quiet-suffix condition.
+        rec = run_record(violations=2)
+        del rec["verdict"]["last_violation_end"]
+        assert not cell_from_record("d", "boxfd", rec).ewx_ok
+
+    def test_labeled_series_preferred_over_aggregates(self):
+        rec = run_record(wrongful=5, churn=9, converged=120.0)
+        rec["summary"]["wrongful_suspicions"] = 999  # aggregate decoy
+        cell = cell_from_record("d", "boxfd", rec)
+        assert cell.wrongful_suspicions == 5
+        assert cell.suspicion_churn == 9
+        assert cell.converged_at == 120.0
+
+    def test_open_wrongful_suspicion_means_never_converged(self):
+        # A labeled wrongful count with no converged gauge = still wrong
+        # at the horizon.
+        cell = cell_from_record("d", "omega", run_record(
+            label="omega", wrongful=4, churn=4))
+        assert cell.converged_at is None
+
+    def test_to_record_shape(self):
+        rec = cell_from_record("d", "boxfd", run_record()).to_record()
+        assert rec["schema"] == LATTICE_SCHEMA and rec["kind"] == "cell"
+        assert rec["detector"] == "d" and rec["run_seed"] == 7
+
+
+class TestDominance:
+    def test_symbols(self):
+        a, b = frozenset({1, 2}), frozenset({1})
+        assert dominance_symbol(a, a) == EQ
+        assert dominance_symbol(a, b) == GE
+        assert dominance_symbol(b, a) == LE
+        assert dominance_symbol(frozenset({1}), frozenset({2})) \
+            == INCOMPARABLE
+
+
+def _row(name, seeds_pass, seeds_fail=()):
+    row = DetectorRow(name=name, label="boxfd", summary=name)
+    for s in seeds_pass:
+        row.cells.append(cell_from_record(
+            name, "boxfd", run_record(seed=s)))
+    for s in seeds_fail:
+        row.cells.append(cell_from_record(
+            name, "boxfd", run_record(seed=s, violations=1,
+                                      last_violation_end=990.0)))
+    return row
+
+
+class TestLatticeResult:
+    def result(self):
+        return LatticeResult(
+            rows=[_row("dp", [1, 2]), _row("weak", [1], [2])],
+            graphs=["ring:6"], seeds=2, seed=0)
+
+    def test_row_lookup(self):
+        res = self.result()
+        assert res.row("dp").ewx_ok
+        assert not res.row("weak").ewx_ok
+        with pytest.raises(KeyError):
+            res.row("nope")
+
+    def test_dominance_grid(self):
+        grid = self.result().dominance()
+        assert grid[("dp", "weak")] == GE
+        assert grid[("weak", "dp")] == LE
+        assert grid[("dp", "dp")] == EQ
+
+    def test_records_cells_then_aggregates(self):
+        recs = self.result().to_records()
+        kinds = [r["kind"] for r in recs]
+        assert kinds == ["cell"] * 4 + ["detector"] * 2
+        agg = {r["detector"]: r for r in recs if r["kind"] == "detector"}
+        assert agg["dp"]["ewx_passes"] == 2 and agg["dp"]["ewx_ok"]
+        assert agg["weak"]["ewx_passes"] == 1 and not agg["weak"]["ewx_ok"]
+
+    def test_render_is_deterministic(self):
+        res = self.result()
+        text = res.render()
+        assert text == self.result().render()
+        assert "dp" in text and "2/2" in text and "1/2" in text
+        assert ">=" in text  # the dominance grid rides along
+
+    def test_svg_grid(self):
+        svg = self.result().to_svg()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "dp (2/2)" in svg and "weak (1/2)" in svg
+        assert "&gt;=" in svg  # symbols are XML-escaped
+
+    def test_mean_convergence_requires_all_seeds(self):
+        row = _row("dp", [1, 2])
+        assert row.mean_convergence() == 0.0
+        open_cell = cell_from_record("dp", "omega", run_record(
+            label="omega", wrongful=1, churn=1, seed=3))
+        row.cells.append(open_cell)
+        assert row.mean_convergence() is None

@@ -177,3 +177,57 @@ class TestAgainstTraceCheckers:
         assert result.convergence_time is None
         assert result.wrongful_suspicions is None
         assert result.summary()["convergence_time"] is None
+
+
+class TestLabeledOracleProbes:
+    """Per-detector-label copies of the oracle-quality series — what the
+    lattice reads to attribute mistakes to the layer that made them."""
+
+    def lab_suspect(self, t, owner, target, suspected, label,
+                    initial=False):
+        return rec(t, "suspect", owner, target=target, suspected=suspected,
+                   detector=label, initial=initial)
+
+    def test_labels_split_the_series(self, probes):
+        probes.on_record(self.lab_suspect(10.0, "p0", "p1", True, "omega"))
+        probes.on_record(self.lab_suspect(12.0, "p0", "p1", True,
+                                          "omega.sub"))
+        probes.on_record(self.lab_suspect(30.0, "p0", "p1", False,
+                                          "omega.sub"))
+        probes.finalize(100.0)
+        snap = probes.registry.snapshot()
+        # Unlabeled aggregates see both streams...
+        assert snap.counter_value("oracle.wrongful_suspicions") == 2
+        # ...while the labeled copies keep them apart.
+        assert snap.counter_value(
+            'oracle.wrongful_suspicions{detector="omega"}') == 1
+        assert snap.counter_value(
+            'oracle.wrongful_suspicions{detector="omega.sub"}') == 1
+
+    def test_per_label_convergence(self, probes):
+        # omega.sub converges at 30; omega never does: only the former
+        # gets a labeled converged_at gauge, and omega's open count is
+        # visible per label.
+        probes.on_record(self.lab_suspect(10.0, "p0", "p1", True, "omega"))
+        probes.on_record(self.lab_suspect(12.0, "p0", "p1", True,
+                                          "omega.sub"))
+        probes.on_record(self.lab_suspect(30.0, "p0", "p1", False,
+                                          "omega.sub"))
+        probes.finalize(100.0)
+        snap = probes.registry.snapshot()
+        assert snap.gauge_value(
+            'oracle.converged_at{detector="omega.sub"}') == 30.0
+        assert snap.gauge_value(
+            'oracle.wrongful_open{detector="omega.sub"}') == 0
+        assert snap.gauge_value(
+            'oracle.wrongful_open{detector="omega"}') == 1
+        assert snap.gauge_value(
+            'oracle.converged_at{detector="omega"}') is None
+
+    def test_detector_stats_on_a_real_omega_run(self):
+        result = execute(RunSpec(graph="ring:3", seed=5, max_time=400.0,
+                                 detector="omega"))
+        stats = result.detector_stats("omega.sub")
+        assert stats["detector"] == "omega.sub"
+        assert stats["wrongful_open"] == 0
+        assert stats["converged_at"] is not None

@@ -36,6 +36,50 @@ class TestSpecHash:
         assert len(h) == 64 and h == spec_hash(
             RunSpec(graph="ring:3", seed=1, max_time=100.0))
 
+    def test_pre_detector_stores_stay_cache_hits(self):
+        # Digests computed BEFORE the detector registry existed: specs
+        # using the default detector with no parameter overrides must
+        # keep hashing under the old salt with the detector fields
+        # omitted, or every pre-registry store turns into a full re-run.
+        pins = {
+            spec_hash(RunSpec()):
+                "a06716c2ce8c7b1cc8d0e001c6c3bcb4"
+                "9adc0b0336ab08b32a0fd6e8cc7a29e2",
+            spec_hash(RunSpec(graph="ring:4", seed=7,
+                              crashes={"p1": 400.0})):
+                "33a8d9f7ee3c9ff2276720e5c864c88f"
+                "596410a225274e75cf03231ce311352f",
+        }
+        for got, expected in pins.items():
+            assert got == expected
+
+    def test_legacy_oracle_spec_keeps_its_key(self):
+        # oracle="perfect" predates the registry; its stored results
+        # must survive the deprecation of the knob.
+        with pytest.warns(DeprecationWarning):
+            spec = RunSpec(oracle="perfect")
+        assert spec_hash(spec) == ("fe4fdc6cc0239e0aaa37eab1c2084ab5"
+                                   "61fff2371c325f3570f4bebbb48aba6c")
+
+    def test_chaos_built_spec_keeps_its_key(self):
+        from repro.chaos import ChaosConfig, build_run
+        spec = build_run(2885616951, ChaosConfig(max_time=400.0))
+        assert spec_hash(spec) == ("a8784bef3ab9c8e6ffeccadb17ecf272"
+                                   "55998aec986b6acb5297575e38c22c23")
+
+    def test_non_default_detector_changes_the_key(self):
+        base = RunSpec(graph="ring:4", seed=7)
+        omega = RunSpec(graph="ring:4", seed=7, detector="omega")
+        tuned = RunSpec(graph="ring:4", seed=7,
+                        detector_params={"initial_timeout": 20})
+        assert len({spec_hash(base), spec_hash(omega),
+                    spec_hash(tuned)}) == 3
+
+    def test_explicit_default_detector_is_the_default_key(self):
+        # Spelling the default out must not fork the cache.
+        assert spec_hash(RunSpec(detector="eventually_perfect")) == \
+            spec_hash(RunSpec())
+
 
 class TestResultStore:
     def test_put_get_roundtrip(self, tmp_path):

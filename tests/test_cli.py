@@ -365,3 +365,68 @@ def test_serve_rejects_bad_config(tmp_path, capsys):
                "--queue-max", "0"])
     assert rc == 2
     assert "queue-max" in capsys.readouterr().err
+
+
+# -- the comparison lattice (repro lattice) -----------------------------------
+
+
+def test_chaos_detector_flag(capsys):
+    rc = main(["chaos", "--campaigns", "1", "--seed", "3",
+               "--max-time", "300", "--detector", "perfect"])
+    assert rc == 0
+    assert "chaos campaign: 1 runs" in capsys.readouterr().out
+    # The replay recipe must carry the knob so failures reproduce under
+    # the same detector.
+    from repro.chaos import ChaosConfig
+    assert "--detector perfect" in ChaosConfig(detector="perfect").cli_flags()
+
+
+def test_chaos_unknown_detector_is_a_clean_cli_error(capsys):
+    rc = main(["chaos", "--campaigns", "1", "--detector", "psychic"])
+    assert rc == 2
+    assert "registered detectors" in capsys.readouterr().err
+
+
+def test_lattice_table_and_artifacts(tmp_path, capsys):
+    out = tmp_path / "lattice.jsonl"
+    svg = tmp_path / "grid.svg"
+    rc = main(["lattice", "--graphs", "ring:4", "--seeds", "2",
+               "--max-time", "400",
+               "--detectors", "eventually_perfect", "flawed_cm",
+               "--out", str(out), "--svg-out", str(svg)])
+    text = capsys.readouterr().out
+    assert rc == 0
+    assert "detector lattice" in text and "dominance" in text
+    assert "VIOLATED" in text  # flawed_cm's accuracy verdict
+    recs = _read_jsonl(out)
+    assert all(r["schema"] == "repro.lattice.v1" for r in recs)
+    rows = {r["detector"]: r for r in recs if r["kind"] == "detector"}
+    assert rows["eventually_perfect"]["ewx_ok"]
+    assert not rows["flawed_cm"]["ewx_ok"]
+    assert rows["flawed_cm"]["exclusion_violations"] > 0
+    assert svg.read_text().startswith("<svg")
+
+
+def test_lattice_json_mode(capsys):
+    rc = main(["lattice", "--graphs", "ring:4", "--seeds", "1",
+               "--max-time", "300", "--detectors", "perfect", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.lattice.v1"
+    assert {r["detector"] for r in doc["records"]} == {"perfect"}
+
+
+def test_lattice_workers_output_is_byte_identical(tmp_path, capsys):
+    args = ["lattice", "--graphs", "ring:4", "--seeds", "2",
+            "--max-time", "400", "--detectors", "perfect", "trusting"]
+    assert main(args) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--workers", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
+def test_lattice_unknown_detector_is_a_clean_cli_error(capsys):
+    rc = main(["lattice", "--detectors", "psychic", "--seeds", "1"])
+    assert rc == 2
+    assert "registered detectors" in capsys.readouterr().err
